@@ -1,0 +1,59 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's tables or figures and
+prints it (run pytest with ``-s`` to see the tables inline).  Results
+are also dumped as JSON under ``benchmarks/results/``.
+
+Budgets honour the ``REPRO_QUICK`` environment variable: set it to a
+truthy value for a fast smoke pass; leave it unset for the full-fidelity
+run used in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_result(results_dir):
+    def _save(name: str, data) -> None:
+        path = results_dir / f"{name}.json"
+        with open(path, "w") as handle:
+            json.dump(data, handle, indent=2, default=float)
+
+    return _save
+
+
+QUICK_CIRCUITS = ("CC-OTA", "Comp1", "Comp2", "VCO1", "CM-OTA1")
+
+
+@pytest.fixture(scope="session")
+def bench_circuits():
+    """Circuits the performance benchmarks cover.
+
+    The quick profile uses a representative subset (one per family
+    group); the full profile covers all ten paper testcases.
+    """
+    from repro.circuits import PAPER_TESTCASES
+    from repro.experiments import quick_mode_default
+
+    return QUICK_CIRCUITS if quick_mode_default() else PAPER_TESTCASES
+
+
+@pytest.fixture(scope="session")
+def trained_models(bench_circuits):
+    """Per-design GNN models shared by the performance benchmarks."""
+    from repro.experiments import train_models
+
+    return train_models(circuits=bench_circuits)

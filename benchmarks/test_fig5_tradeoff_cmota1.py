@@ -1,0 +1,21 @@
+"""Regenerates paper Fig. 5: HPWL-area trade-off sweep on CM-OTA1."""
+
+from repro.experiments import format_fig5, pareto_front, \
+    quick_mode_default, run_fig5
+
+
+def test_fig5(benchmark, save_result):
+    points = benchmark.pedantic(run_fig5, rounds=1, iterations=1)
+    save_result("fig5", points)
+    print("\n" + format_fig5(points))
+    front = pareto_front(points)
+    print("\nPareto front:", [(p["method"], round(p["area"], 1),
+                               round(p["hpwl"], 1)) for p in front])
+    # paper shape: ePlace-A supplies much of the Pareto front — the
+    # interior balanced region at minimum (the quick profile's reduced
+    # GP budgets loosen its extreme points)
+    ep_on_front = sum(1 for p in front if p["method"] == "eplace-a")
+    if quick_mode_default():
+        assert ep_on_front >= 1
+    else:
+        assert ep_on_front >= len(front) / 2

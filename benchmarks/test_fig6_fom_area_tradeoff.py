@@ -1,0 +1,15 @@
+"""Regenerates paper Fig. 6: FOM-area trade-off sweep on CM-OTA1."""
+
+from repro.experiments import format_fig6, run_fig6
+
+
+def test_fig6(benchmark, save_result, trained_models):
+    points = benchmark.pedantic(
+        run_fig6, kwargs={"model": trained_models["CM-OTA1"]},
+        rounds=1, iterations=1)
+    save_result("fig6", points)
+    print("\n" + format_fig6(points))
+    # paper shape: the best-FOM points include ePlace-AP settings
+    best = max(points, key=lambda p: p["fom"])
+    top = sorted(points, key=lambda p: -p["fom"])[:4]
+    assert any(p["method"] == "eplace-ap" for p in top)

@@ -1,0 +1,12 @@
+"""Regenerates paper Table IV: DP-only comparison from identical GP."""
+
+from repro.experiments import format_table4, run_table4
+
+
+def test_table4(benchmark, save_result):
+    rows = benchmark.pedantic(run_table4, rounds=1, iterations=1)
+    save_result("table4", rows)
+    print("\n" + format_table4(rows))
+    # paper shape: the ILP DP (with flipping) wins wirelength
+    for row in rows:
+        assert row["hpwl_ilp"] <= row["hpwl_lp"] + 1e-6

@@ -1,0 +1,17 @@
+"""Regenerates paper Table VI: CC-OTA detailed metrics."""
+
+from repro.experiments import format_table6, run_table6
+
+
+def test_table6(benchmark, save_result, trained_models):
+    data = benchmark.pedantic(
+        run_table6, kwargs={"model": trained_models["CC-OTA"]},
+        rounds=1, iterations=1)
+    save_result("table6", data)
+    print("\n" + format_table6(data))
+    # paper shape: the performance-driven run trades phase margin for
+    # unity-gain frequency and bandwidth (small tolerance for the
+    # quick profile's weaker models)
+    assert data["fom_ap"] >= data["fom_a"] - 0.015
+    assert data["eplace_ap"]["ugf_mhz"] >= \
+        0.97 * data["eplace_a"]["ugf_mhz"]

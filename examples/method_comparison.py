@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Mini Table III: run the paper's main comparison on selected circuits.
+
+Compares simulated annealing, the previous analytical work [11] and
+ePlace-A on area, wirelength and runtime, and prints the paper-style
+average-ratio line.
+
+Usage::
+
+    python examples/method_comparison.py [circuit ...]
+
+Default: three representative circuits (fast).  Pass circuit names, or
+``all`` for the full ten-testcase Table III (slower).
+"""
+
+import sys
+
+from repro.circuits import PAPER_TESTCASES
+from repro.experiments import format_table3, run_table3, table3_ratios
+
+
+def main() -> None:
+    args = sys.argv[1:]
+    if args == ["all"]:
+        circuits = PAPER_TESTCASES
+    elif args:
+        unknown = [a for a in args if a not in PAPER_TESTCASES]
+        if unknown:
+            raise SystemExit(
+                f"unknown circuits {unknown}; choose from "
+                f"{PAPER_TESTCASES}")
+        circuits = tuple(args)
+    else:
+        circuits = ("CC-OTA", "Comp1", "VCO1")
+
+    print(f"Running the Table III comparison on {', '.join(circuits)} "
+          "(set REPRO_QUICK=1 for a faster pass)...\n")
+    rows = run_table3(circuits=circuits)
+    print(format_table3(rows))
+
+    ratios = table3_ratios(rows)
+    print("\npaper's Avg.(X) line for reference: "
+          "SA 1.11 / 1.14 / 55x ; previous work 1.25 / 1.24 / 0.8x")
+    print(f"this run:                          "
+          f"SA {ratios['area_sa_over_ep']:.2f} / "
+          f"{ratios['hpwl_sa_over_ep']:.2f} / "
+          f"{ratios['runtime_sa_over_ep']:.1f}x ; previous work "
+          f"{ratios['area_xu_over_ep']:.2f} / "
+          f"{ratios['hpwl_xu_over_ep']:.2f} / "
+          f"{ratios['runtime_xu_over_ep']:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

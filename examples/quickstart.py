@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: place one of the paper's testcases with all three methods.
+
+Runs the CC-OTA through simulated annealing, the previous analytical
+work [11], and ePlace-A; prints quality metrics and a text rendering of
+the winning layout.
+
+Usage::
+
+    python examples/quickstart.py [circuit-name]
+"""
+
+import sys
+
+from repro import place
+from repro.annealing import SAParams
+from repro.circuits import PAPER_TESTCASES, make
+from repro.placement import audit_constraints
+
+
+def render_ascii(placement, columns: int = 64) -> str:
+    """Coarse character rendering of a placement."""
+    xlo, ylo, xhi, yhi = placement.bounding_box()
+    width = max(xhi - xlo, 1e-9)
+    height = max(yhi - ylo, 1e-9)
+    rows = max(int(columns * height / width / 2), 4)
+    grid = [[" "] * columns for _ in range(rows)]
+    names = placement.circuit.device_names
+    rects = placement.rectangles()
+    for i, (rxlo, rylo, rxhi, ryhi) in enumerate(rects):
+        c0 = int((rxlo - xlo) / width * (columns - 1))
+        c1 = int((rxhi - xlo) / width * (columns - 1))
+        r0 = int((rylo - ylo) / height * (rows - 1))
+        r1 = int((ryhi - ylo) / height * (rows - 1))
+        mark = names[i][0]
+        for r in range(r0, r1 + 1):
+            for c in range(c0, c1 + 1):
+                grid[rows - 1 - r][c] = mark
+    return "\n".join("".join(row) for row in grid)
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "CC-OTA"
+    if name not in PAPER_TESTCASES:
+        raise SystemExit(
+            f"unknown circuit {name!r}; choose from {PAPER_TESTCASES}")
+
+    print(f"Placing {name} with all three methods of the paper...\n")
+    results = {
+        "annealing": place(make(name), "annealing",
+                           params=SAParams(iterations=20000, seed=3)),
+        "xu-ispd19": place(make(name), "xu-ispd19"),
+        "eplace-a": place(make(name), "eplace-a"),
+    }
+
+    print(f"{'method':12s} {'area um^2':>10s} {'HPWL um':>9s} "
+          f"{'runtime s':>10s}  constraints")
+    for method, result in results.items():
+        metrics = result.metrics()
+        audit = audit_constraints(result.placement)
+        print(f"{method:12s} {metrics['area']:10.1f} "
+              f"{metrics['hpwl']:9.1f} {metrics['runtime_s']:10.2f}  "
+              f"{'OK' if audit.ok else 'VIOLATED'}")
+
+    best = min(results.values(), key=lambda r: r.metrics()["hpwl"])
+    print(f"\nBest-wirelength layout ({best.method}):\n")
+    print(render_ascii(best.placement))
+
+
+if __name__ == "__main__":
+    main()

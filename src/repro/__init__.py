@@ -1,0 +1,30 @@
+"""Reproduction of "Are Analytical Techniques Worthwhile for Analog IC
+Placement?" (Lin et al., DATE 2022).
+
+Public surface:
+
+* :mod:`repro.netlist` — circuit data model;
+* :mod:`repro.circuits` — the paper's ten parametric testcases;
+* :func:`repro.api.place` — one-call conventional placement
+  (``eplace-a`` / ``xu-ispd19`` / ``annealing``);
+* :mod:`repro.perf_driven` — performance-driven flows (ePlace-AP,
+  Perf*, perf-SA) and GNN model training;
+* :mod:`repro.simulate` — closed-form performance models + FOM;
+* :mod:`repro.experiments` — drivers regenerating every paper table
+  and figure.
+"""
+
+from .api import METHODS, place, place_annealing, place_eplace_a, \
+    place_xu_ispd19
+from .placement import Placement, PlacerResult
+
+__all__ = [
+    "METHODS",
+    "Placement",
+    "PlacerResult",
+    "place",
+    "place_annealing",
+    "place_eplace_a",
+    "place_xu_ispd19",
+]
+__version__ = "0.1.0"

@@ -1,0 +1,57 @@
+"""Smoothed total-area term (paper Sec. IV-A).
+
+:math:`Area(v) = WA_{V,x}(v) \\cdot WA_{V,y}(v)` where the WA functions
+smooth the layout extents :math:`\\max_i (x_i + w_i/2) - \\min_i
+(x_i - w_i/2)` over *all* devices.  Digital placers ignore area, but in
+analog circuits the placement area drives parasitics, so the paper adds
+this term to the global-placement objective; removing it costs >20% area
+and wirelength (paper Fig. 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _wa_extent(
+    hi: np.ndarray, lo: np.ndarray, gamma: float
+) -> tuple[float, np.ndarray]:
+    """WA-smoothed extent ``softmax(hi) - softmin(lo)`` and its gradient.
+
+    ``hi``/``lo`` are per-device upper/lower boundary coordinates along
+    one axis; both depend on the same centre coordinate with unit
+    derivative, so the returned gradient is per-device.
+    """
+    m = hi.max()
+    a = np.exp((hi - m) / gamma)
+    sum_a = a.sum()
+    f_max = float(np.dot(hi, a) / sum_a)
+    grad_max = (a / sum_a) * (1.0 + (hi - f_max) / gamma)
+
+    m = lo.min()
+    b = np.exp(-(lo - m) / gamma)
+    sum_b = b.sum()
+    f_min = float(np.dot(lo, b) / sum_b)
+    grad_min = (b / sum_b) * (1.0 - (lo - f_min) / gamma)
+
+    return f_max - f_min, grad_max - grad_min
+
+
+def area_term(
+    x: np.ndarray,
+    y: np.ndarray,
+    widths: np.ndarray,
+    heights: np.ndarray,
+    gamma: float,
+) -> tuple[float, np.ndarray, np.ndarray]:
+    """Smoothed bounding-box area and its gradient w.r.t. centres.
+
+    Returns ``(value, grad_x, grad_y)``.  The product rule couples the
+    axes: widening the layout horizontally is penalised in proportion to
+    its current height and vice versa, which is what steers the
+    optimiser toward square-ish compact layouts.
+    """
+    extent_x, grad_ex = _wa_extent(x + widths / 2, x - widths / 2, gamma)
+    extent_y, grad_ey = _wa_extent(y + heights / 2, y - heights / 2, gamma)
+    value = extent_x * extent_y
+    return value, extent_y * grad_ex, extent_x * grad_ey

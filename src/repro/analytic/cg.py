@@ -1,0 +1,103 @@
+"""Polak-Ribiere conjugate gradient with Armijo line search.
+
+NTUplace3 [10] — the digital placer underlying the previous analytical
+analog work [11] — solves its unconstrained smoothed objective with
+conjugate gradient.  We implement PR+ (the Polak-Ribiere variant with
+non-negativity reset), a standard robust choice for the non-convex
+placement objective.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+Objective = Callable[[np.ndarray], tuple[float, np.ndarray]]
+
+
+@dataclass
+class CGResult:
+    """Outcome of a conjugate-gradient run."""
+
+    v: np.ndarray
+    value: float
+    grad_norm: float
+    iterations: int
+    converged: bool
+
+
+def _armijo(
+    objective: Objective,
+    v: np.ndarray,
+    value: float,
+    grad: np.ndarray,
+    direction: np.ndarray,
+    alpha0: float,
+    c1: float = 1e-4,
+    max_halvings: int = 20,
+) -> tuple[np.ndarray, float, float]:
+    """Backtracking line search; returns ``(v_new, value_new, alpha)``."""
+    slope = float(np.dot(grad, direction))
+    if slope >= 0.0:  # not a descent direction: fall back to steepest
+        direction = -grad
+        slope = -float(np.dot(grad, grad))
+    alpha = alpha0
+    for _ in range(max_halvings):
+        candidate = v + alpha * direction
+        value_c, _ = objective(candidate)
+        if value_c <= value + c1 * alpha * slope:
+            return candidate, value_c, alpha
+        alpha *= 0.5
+    candidate = v + alpha * direction
+    value_c, _ = objective(candidate)
+    return candidate, value_c, alpha
+
+
+def conjugate_gradient(
+    objective: Objective,
+    v0: np.ndarray,
+    iterations: int = 200,
+    tol: float = 1e-6,
+    alpha0: float = 1.0,
+) -> CGResult:
+    """Minimise ``objective`` from ``v0`` with PR+ conjugate gradient.
+
+    The initial line-search step adapts: each iteration starts from
+    twice the previous accepted step, which keeps the search cheap once
+    the scale of the landscape is known.
+    """
+    v = np.asarray(v0, dtype=float).copy()
+    value, grad = objective(v)
+    direction = -grad
+    alpha = alpha0
+    iteration = 0
+    for iteration in range(1, iterations + 1):
+        grad_norm = float(np.linalg.norm(grad))
+        if grad_norm < tol:
+            return CGResult(v, value, grad_norm, iteration - 1, True)
+        v_new, value_new, alpha_used = _armijo(
+            objective, v, value, grad, direction, alpha
+        )
+        if not np.isfinite(value_new) or value_new > value:
+            # rejected step: restart from steepest descent, smaller step
+            direction = -grad
+            alpha = max(alpha * 0.25, 1e-15)
+            continue
+        _, grad_new = objective(v_new)
+        # Polak-Ribiere+ coefficient with automatic reset
+        y = grad_new - grad
+        denom = float(np.dot(grad, grad))
+        beta = max(0.0, float(np.dot(grad_new, y)) / max(denom, 1e-30))
+        if not np.isfinite(beta) or beta > 1e3:
+            beta = 0.0
+        direction = -grad_new + beta * direction
+        dir_norm = float(np.linalg.norm(direction))
+        new_norm = float(np.linalg.norm(grad_new))
+        if not np.isfinite(dir_norm) or dir_norm > 1e6 * max(new_norm,
+                                                             1e-12):
+            direction = -grad_new  # runaway conjugacy: reset
+        v, value, grad = v_new, value_new, grad_new
+        alpha = max(alpha_used * 2.0, 1e-12)
+    return CGResult(v, value, float(np.linalg.norm(grad)), iteration, False)

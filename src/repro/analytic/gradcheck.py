@@ -1,0 +1,35 @@
+"""Finite-difference gradient verification used by the test suite."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+
+def finite_difference_grad(
+    fun: Callable[[np.ndarray], float],
+    v: np.ndarray,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference gradient of a scalar function."""
+    v = np.asarray(v, dtype=float)
+    grad = np.zeros_like(v)
+    for i in range(v.size):
+        bump = np.zeros_like(v)
+        bump[i] = eps
+        grad[i] = (fun(v + bump) - fun(v - bump)) / (2.0 * eps)
+    return grad
+
+
+def max_grad_error(
+    fun_and_grad: Callable[[np.ndarray], tuple[float, np.ndarray]],
+    v: np.ndarray,
+    eps: float = 1e-6,
+) -> float:
+    """Max abs difference between analytic and numerical gradients,
+    normalised by the gradient scale (so the tolerance is relative)."""
+    _, analytic = fun_and_grad(v)
+    numeric = finite_difference_grad(lambda w: fun_and_grad(w)[0], v, eps)
+    scale = max(float(np.abs(numeric).max()), 1e-12)
+    return float(np.abs(analytic - numeric).max()) / scale

@@ -1,0 +1,59 @@
+"""Log-Sum-Exponential (LSE) wirelength smoothing (NTUplace3 [10]).
+
+The span of net :math:`e` along x is approximated by
+
+.. math::
+    LSE_e(x) = \\gamma \\ln \\sum_i e^{x_i/\\gamma}
+             + \\gamma \\ln \\sum_i e^{-x_i/\\gamma}
+
+which *over*-estimates the true span (by up to
+:math:`2\\gamma\\ln d` for degree :math:`d`); the paper's Table III
+discussion credits part of ePlace-A's quality edge over [11] to WA's
+smaller estimation error [23].  Gradients are the softmax weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .netarrays import NetArrays
+
+
+def _lse_axis(
+    arrays: NetArrays, coords: np.ndarray, gamma: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-net LSE span and per-pin gradient along one axis."""
+    seg = arrays.pin_net
+
+    seg_max = arrays.segment_max(coords)
+    a = np.exp((coords - seg_max[seg]) / gamma)
+    sum_a = arrays.segment_sum(a)
+    lse_max = seg_max + gamma * np.log(sum_a)
+    grad_max = a / sum_a[seg]
+
+    seg_min = arrays.segment_min(coords)
+    b = np.exp(-(coords - seg_min[seg]) / gamma)
+    sum_b = arrays.segment_sum(b)
+    lse_min = -seg_min + gamma * np.log(sum_b)
+    grad_min = -b / sum_b[seg]
+
+    return lse_max + lse_min, grad_max + grad_min
+
+
+def lse_wirelength(
+    arrays: NetArrays,
+    x: np.ndarray,
+    y: np.ndarray,
+    gamma: float,
+) -> tuple[float, np.ndarray, np.ndarray]:
+    """Smoothed weighted HPWL (LSE model) and gradient per device."""
+    px, py = arrays.pin_coords(x, y)
+    span_x, pin_grad_x = _lse_axis(arrays, px, gamma)
+    span_y, pin_grad_y = _lse_axis(arrays, py, gamma)
+
+    w = arrays.weights
+    value = float(np.dot(w, span_x + span_y))
+    w_per_pin = w[arrays.pin_net]
+    grad_x = arrays.scatter_to_devices(w_per_pin * pin_grad_x, len(x))
+    grad_y = arrays.scatter_to_devices(w_per_pin * pin_grad_y, len(y))
+    return value, grad_x, grad_y

@@ -1,0 +1,168 @@
+"""Soft analog-constraint penalties for global placement (paper eq. 3).
+
+``Sym(v)`` penalises symmetry violations: for a pair :math:`(i, j)`
+mirrored about a vertical axis at :math:`x_m` the term is
+:math:`(y_i - y_j)^2 + (x_i + x_j - 2 x_m)^2`.  The axis position is a
+free variable; we substitute its closed-form optimum (the least-squares
+axis of the group) at every evaluation.  By the envelope theorem the
+gradient w.r.t. device coordinates equals the partial gradient at the
+fitted axis, so the penalty stays smooth and exactly differentiable.
+
+Alignment penalties are squared residuals of eqs. (4g)/(4h); ordering
+penalties are squared hinge violations of eq. (4i).  All are *soft*
+here — the ILP detailed placer enforces them exactly later (the paper's
+Table I shows soft GP constraints beat hard ones end to end).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..netlist import Axis, Circuit
+
+
+class ConstraintPenalties:
+    """Precompiled index arrays for fast penalty/gradient evaluation."""
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+        index = circuit.device_index()
+        widths, heights = circuit.sizes()
+        self.widths, self.heights = widths, heights
+
+        # symmetry groups: (pair_a, pair_b) indices + self indices + axis
+        self.sym_groups = []
+        for group in circuit.constraints.symmetry_groups:
+            pa = np.array([index[a] for a, _ in group.pairs], dtype=int)
+            pb = np.array([index[b] for _, b in group.pairs], dtype=int)
+            selfs = np.array(
+                [index[s] for s in group.self_symmetric], dtype=int
+            )
+            self.sym_groups.append((pa, pb, selfs, group.axis))
+
+        # alignment pairs by kind
+        self.align_bottom = []
+        self.align_vcenter = []
+        self.align_hcenter = []
+        for pair in circuit.constraints.alignments:
+            ia, ib = index[pair.a], index[pair.b]
+            if pair.kind == "bottom":
+                self.align_bottom.append((ia, ib))
+            elif pair.kind == "vcenter":
+                self.align_vcenter.append((ia, ib))
+            else:
+                self.align_hcenter.append((ia, ib))
+
+        # ordering chains as consecutive pairs
+        self.order_pairs_h = []
+        self.order_pairs_v = []
+        for chain in circuit.constraints.orderings:
+            for left, right in chain.pairs:
+                il, ir = index[left], index[right]
+                if chain.axis is Axis.VERTICAL:
+                    self.order_pairs_h.append((il, ir))
+                else:
+                    self.order_pairs_v.append((il, ir))
+
+    # ------------------------------------------------------------------
+    def symmetry(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> tuple[float, np.ndarray, np.ndarray]:
+        """Sym(v) and its gradient with per-group least-squares axes."""
+        value = 0.0
+        gx = np.zeros_like(x)
+        gy = np.zeros_like(y)
+        for pa, pb, selfs, axis in self.sym_groups:
+            if axis is Axis.VERTICAL:
+                along, across = x, y
+                g_along, g_across = gx, gy
+            else:
+                along, across = y, x
+                g_along, g_across = gy, gx
+
+            # least-squares axis: minimising sum (a+b-2m)^2 + (s-m)^2
+            # weights pair midpoints 4x self-symmetric devices
+            mids = (along[pa] + along[pb]) / 2.0 if len(pa) else np.empty(0)
+            axis_pos = (4.0 * mids.sum() + along[selfs].sum()) / (
+                4.0 * len(pa) + len(selfs)
+            )
+
+            if len(pa):
+                r_axis = along[pa] + along[pb] - 2.0 * axis_pos
+                r_cross = across[pa] - across[pb]
+                value += float(np.dot(r_axis, r_axis))
+                value += float(np.dot(r_cross, r_cross))
+                np.add.at(g_along, pa, 2.0 * r_axis)
+                np.add.at(g_along, pb, 2.0 * r_axis)
+                np.add.at(g_across, pa, 2.0 * r_cross)
+                np.add.at(g_across, pb, -2.0 * r_cross)
+            if len(selfs):
+                r_self = along[selfs] - axis_pos
+                value += float(np.dot(r_self, r_self))
+                np.add.at(g_along, selfs, 2.0 * r_self)
+        return value, gx, gy
+
+    # ------------------------------------------------------------------
+    def alignment(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> tuple[float, np.ndarray, np.ndarray]:
+        """Quadratic alignment penalty and gradient."""
+        value = 0.0
+        gx = np.zeros_like(x)
+        gy = np.zeros_like(y)
+        h = self.heights
+        for ia, ib in self.align_bottom:
+            r = (y[ia] - h[ia] / 2) - (y[ib] - h[ib] / 2)
+            value += r * r
+            gy[ia] += 2 * r
+            gy[ib] -= 2 * r
+        for ia, ib in self.align_vcenter:
+            r = x[ia] - x[ib]
+            value += r * r
+            gx[ia] += 2 * r
+            gx[ib] -= 2 * r
+        for ia, ib in self.align_hcenter:
+            r = y[ia] - y[ib]
+            value += r * r
+            gy[ia] += 2 * r
+            gy[ib] -= 2 * r
+        return float(value), gx, gy
+
+    # ------------------------------------------------------------------
+    def ordering(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> tuple[float, np.ndarray, np.ndarray]:
+        """Squared-hinge ordering penalty and gradient."""
+        value = 0.0
+        gx = np.zeros_like(x)
+        gy = np.zeros_like(y)
+        w, h = self.widths, self.heights
+        for il, ir in self.order_pairs_h:
+            # violation when right edge of left device passes left edge
+            # of right device
+            viol = (x[il] + w[il] / 2) - (x[ir] - w[ir] / 2)
+            if viol > 0:
+                value += viol * viol
+                gx[il] += 2 * viol
+                gx[ir] -= 2 * viol
+        for il, ir in self.order_pairs_v:
+            viol = (y[il] + h[il] / 2) - (y[ir] - h[ir] / 2)
+            if viol > 0:
+                value += viol * viol
+                gy[il] += 2 * viol
+                gy[ir] -= 2 * viol
+        return float(value), gx, gy
+
+    # ------------------------------------------------------------------
+    def total(
+        self, x: np.ndarray, y: np.ndarray,
+        w_sym: float = 1.0, w_align: float = 1.0, w_order: float = 1.0,
+    ) -> tuple[float, np.ndarray, np.ndarray]:
+        """Weighted sum of the three penalty classes and its gradient."""
+        vs, gxs, gys = self.symmetry(x, y)
+        va, gxa, gya = self.alignment(x, y)
+        vo, gxo, gyo = self.ordering(x, y)
+        value = w_sym * vs + w_align * va + w_order * vo
+        gx = w_sym * gxs + w_align * gxa + w_order * gxo
+        gy = w_sym * gys + w_align * gya + w_order * gyo
+        return value, gx, gy

@@ -1,0 +1,16 @@
+"""Simulated-annealing analog placement baseline (sequence pair + islands)."""
+
+from .annealer import SAParams, SimulatedAnnealingPlacer, anneal_place
+from .islands import Block, build_blocks, fuse_alignment_blocks, reorder_island
+from .seqpair import SequencePair
+
+__all__ = [
+    "Block",
+    "SAParams",
+    "SequencePair",
+    "SimulatedAnnealingPlacer",
+    "anneal_place",
+    "build_blocks",
+    "fuse_alignment_blocks",
+    "reorder_island",
+]

@@ -1,0 +1,321 @@
+"""Simulated-annealing analog placer (the paper's comparison baseline).
+
+Sequence-pair floorplanning over symmetry islands and free devices with
+a classic Metropolis schedule.  The cost is the same area + wirelength
+mix the analytical flows optimise (optionally plus a performance model
+term, the ``Perf`` arm of Table V); symmetry and alignment come out
+exact by construction — islands pin mirrored pairs to a common axis, and
+alignment pairs are fused into rigid blocks.
+
+Moves: swap two blocks in one or both sequences, toggle a free device's
+flip, permute an island's row order, and mirror an entire island.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from ..analytic import NetArrays
+from ..netlist import Axis, Circuit
+from ..placement import Placement, PlacerResult
+from .islands import (
+    Block,
+    build_blocks,
+    fuse_alignment_blocks,
+    reorder_island,
+)
+from .seqpair import SequencePair
+
+#: optional extra cost hook: maps a candidate Placement to a scalar
+CostHook = Callable[[Placement], float]
+
+
+@dataclass
+class SAParams:
+    """Annealing schedule and cost weighting.
+
+    ``area_weight`` mixes normalised area into the normalised-HPWL cost
+    (the knob swept for the paper's Fig. 5 trade-off curve); ``perf_weight``
+    scales the optional performance hook (Table V's ``Perf`` arm).
+    """
+
+    iterations: int = 20000
+    seed: int = 1
+    area_weight: float = 1.0
+    perf_weight: float = 0.0
+    t_start_factor: float = 1.0
+    t_end_ratio: float = 1e-3
+    moves_per_temp: int = 40
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ValueError("iterations must be positive")
+        if self.area_weight < 0 or self.perf_weight < 0:
+            raise ValueError("weights must be non-negative")
+
+
+class _State:
+    """Mutable annealing state: sequence pair + block geometry."""
+
+    def __init__(self, circuit: Circuit, blocks: list[Block],
+                 pair: SequencePair):
+        self.circuit = circuit
+        self.blocks = blocks
+        self.pair = pair
+        self.free_flips = {}  # block index -> (flip_x, flip_y)
+
+    def copy(self) -> "_State":
+        out = _State(self.circuit, list(self.blocks), self.pair.copy())
+        out.free_flips = dict(self.free_flips)
+        return out
+
+    def realize(self) -> Placement:
+        """Pack the sequence pair and emit absolute device placement."""
+        widths = np.array([b.width for b in self.blocks])
+        heights = np.array([b.height for b in self.blocks])
+        bx, by = self.pair.pack(widths, heights)
+
+        n = self.circuit.num_devices
+        x = np.zeros(n)
+        y = np.zeros(n)
+        fx = np.zeros(n, dtype=bool)
+        fy = np.zeros(n, dtype=bool)
+        for k, block in enumerate(self.blocks):
+            extra_fx, extra_fy = self.free_flips.get(k, (False, False))
+            for m, dev in enumerate(block.device_indices):
+                rel_x = block.rel_x[m]
+                if extra_fx:
+                    rel_x = block.width - rel_x
+                rel_y = block.rel_y[m]
+                if extra_fy:
+                    rel_y = block.height - rel_y
+                x[dev] = bx[k] + rel_x
+                y[dev] = by[k] + rel_y
+                fx[dev] = bool(block.flip_x[m]) ^ extra_fx
+                fy[dev] = bool(block.flip_y[m]) ^ extra_fy
+        return Placement(self.circuit, x, y, fx, fy)
+
+
+class SimulatedAnnealingPlacer:
+    """End-to-end SA placement for one circuit."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        params: SAParams | None = None,
+        cost_hook: CostHook | None = None,
+    ) -> None:
+        circuit.validate()
+        self.circuit = circuit
+        self.params = params or SAParams()
+        self.cost_hook = cost_hook
+        self.arrays = NetArrays(circuit)
+        self.widths, self.heights = circuit.sizes()
+        # normalisers so HPWL and area enter the cost at similar scales
+        side = float(np.sqrt(circuit.total_device_area()))
+        self._area_norm = side * side
+        self._hpwl_norm = max(side * self.arrays.num_nets, 1e-9)
+
+    # ------------------------------------------------------------------
+    def _cost(self, placement: Placement) -> float:
+        x, y = placement.x, placement.y
+        sign_x = np.where(placement.flip_x, -1.0, 1.0)
+        sign_y = np.where(placement.flip_y, -1.0, 1.0)
+        arrays = self.arrays
+        px = x[arrays.pin_dev] + arrays.pin_offx * sign_x[arrays.pin_dev]
+        py = y[arrays.pin_dev] + arrays.pin_offy * sign_y[arrays.pin_dev]
+        spans = (
+            arrays.segment_max(px) - arrays.segment_min(px)
+            + arrays.segment_max(py) - arrays.segment_min(py)
+        )
+        hpwl = float(np.dot(arrays.weights, spans))
+        w = (x + self.widths / 2).max() - (x - self.widths / 2).min()
+        h = (y + self.heights / 2).max() - (y - self.heights / 2).min()
+        cost = (
+            hpwl / self._hpwl_norm
+            + self.params.area_weight * (w * h) / self._area_norm
+        )
+        if self.cost_hook is not None and self.params.perf_weight > 0:
+            cost += self.params.perf_weight * self.cost_hook(placement)
+        return cost
+
+    # ------------------------------------------------------------------
+    def _propose(self, state: _State, rng: np.random.Generator) -> _State:
+        nb = len(state.blocks)
+        new = state.copy()
+        move = rng.integers(0, 5)
+        if move <= 1 and nb >= 2:
+            i, j = rng.choice(nb, size=2, replace=False)
+            seq = new.pair.plus if move == 0 else new.pair.minus
+            pi, pj = seq.index(i), seq.index(j)
+            seq[pi], seq[pj] = seq[pj], seq[pi]
+        elif move == 2 and nb >= 2:
+            i, j = rng.choice(nb, size=2, replace=False)
+            for seq in (new.pair.plus, new.pair.minus):
+                pi, pj = seq.index(i), seq.index(j)
+                seq[pi], seq[pj] = seq[pj], seq[pi]
+        elif move == 3:
+            k = int(rng.integers(0, nb))
+            block = state.blocks[k]
+            fx, fy = new.free_flips.get(k, (False, False))
+            if rng.random() < 0.5 and block.allow_flip_x:
+                fx = not fx
+            elif block.allow_flip_y:
+                fy = not fy
+            new.free_flips[k] = (fx, fy)
+        else:
+            islands = [k for k, b in enumerate(state.blocks)
+                       if b.group is not None
+                       and len(b.row_order) >= 2]
+            if islands:
+                k = int(rng.choice(islands))
+                order = list(state.blocks[k].row_order)
+                a, b = rng.choice(len(order), size=2, replace=False)
+                order[a], order[b] = order[b], order[a]
+                new.blocks[k] = reorder_island(
+                    self.circuit, state.blocks[k], order
+                )
+        return new
+
+    # ------------------------------------------------------------------
+    def _compile_chains(self, blocks: list[Block]) -> list[tuple]:
+        """Ordering chains mapped to block-index sequences."""
+        index = self.circuit.device_index()
+        by_device = {}
+        for k, block in enumerate(blocks):
+            for dev in block.device_indices:
+                by_device[dev] = k
+        chains = []
+        for chain in self.circuit.constraints.orderings:
+            block_seq: list[int] = []
+            for name in chain.devices:
+                k = by_device[index[name]]
+                if not block_seq or block_seq[-1] != k:
+                    block_seq.append(k)
+            if len(block_seq) >= 2:
+                chains.append((tuple(block_seq), chain.axis))
+        return chains
+
+    def _chains_ok(self, pair: SequencePair, chains) -> bool:
+        """True when every chain's blocks keep their mandated relation.
+
+        For a horizontal chain (``Axis.VERTICAL`` ordering) consecutive
+        blocks must be left-of each other, i.e. ordered in both
+        sequences; a vertical chain needs below-of: reversed in ``s+``,
+        ordered in ``s-``.
+        """
+        nb = len(pair.plus)
+        pos_plus = [0] * nb
+        pos_minus = [0] * nb
+        for i, b in enumerate(pair.plus):
+            pos_plus[b] = i
+        for i, b in enumerate(pair.minus):
+            pos_minus[b] = i
+        for block_seq, axis in chains:
+            for a, b in zip(block_seq, block_seq[1:]):
+                if pos_minus[a] >= pos_minus[b]:
+                    return False
+                if axis is Axis.VERTICAL:
+                    if pos_plus[a] >= pos_plus[b]:
+                        return False
+                else:
+                    if pos_plus[a] <= pos_plus[b]:
+                        return False
+        return True
+
+    def _initial_pair(self, nb: int) -> SequencePair:
+        """Chain-feasible starting sequences via topological sort."""
+        g_plus = nx.DiGraph()
+        g_minus = nx.DiGraph()
+        g_plus.add_nodes_from(range(nb))
+        g_minus.add_nodes_from(range(nb))
+        for block_seq, axis in self._chains:
+            for a, b in zip(block_seq, block_seq[1:]):
+                g_minus.add_edge(a, b)
+                if axis is Axis.VERTICAL:
+                    g_plus.add_edge(a, b)
+                else:
+                    g_plus.add_edge(b, a)
+        try:
+            plus = list(nx.lexicographical_topological_sort(g_plus))
+            minus = list(nx.lexicographical_topological_sort(g_minus))
+        except nx.NetworkXUnfeasible as exc:
+            raise RuntimeError(
+                "ordering chains are cyclic at block level"
+            ) from exc
+        return SequencePair(plus, minus)
+
+    def place(self) -> PlacerResult:
+        start = time.perf_counter()
+        p = self.params
+        rng = np.random.default_rng(p.seed)
+        blocks = fuse_alignment_blocks(
+            self.circuit, build_blocks(self.circuit)
+        )
+        self._chains = self._compile_chains(blocks)
+        pair0 = self._initial_pair(len(blocks))
+        state = _State(self.circuit, blocks, pair0)
+        cost = self._cost(state.realize())
+
+        # initial temperature from the spread of random-walk deltas
+        deltas = []
+        probe = state
+        for _ in range(30):
+            cand = self._propose(probe, rng)
+            deltas.append(abs(self._cost(cand.realize()) - cost))
+            probe = cand
+        t0 = max(float(np.mean(deltas)), 1e-6) * p.t_start_factor
+        t_end = t0 * p.t_end_ratio
+        n_temps = max(p.iterations // p.moves_per_temp, 1)
+        decay = (t_end / t0) ** (1.0 / n_temps)
+
+        best_state, best_cost = state.copy(), cost
+        temperature = t0
+        accepted = 0
+        evaluated = 0
+        for it in range(p.iterations):
+            candidate = self._propose(state, rng)
+            if self._chains and not self._chains_ok(
+                    candidate.pair, self._chains):
+                if (it + 1) % p.moves_per_temp == 0:
+                    temperature *= decay
+                continue
+            cand_cost = self._cost(candidate.realize())
+            evaluated += 1
+            delta = cand_cost - cost
+            if delta <= 0 or rng.random() < np.exp(-delta / temperature):
+                state, cost = candidate, cand_cost
+                accepted += 1
+                if cost < best_cost:
+                    best_state, best_cost = state.copy(), cost
+            if (it + 1) % p.moves_per_temp == 0:
+                temperature *= decay
+
+        placement = best_state.realize().normalized()
+        runtime = time.perf_counter() - start
+        return PlacerResult(
+            placement=placement,
+            runtime_s=runtime,
+            method="annealing",
+            stats={
+                "iterations": p.iterations,
+                "accept_rate": accepted / max(evaluated, 1),
+                "best_cost": best_cost,
+                "t0": t0,
+                "blocks": len(blocks),
+            },
+        )
+
+
+def anneal_place(
+    circuit: Circuit,
+    params: SAParams | None = None,
+    cost_hook: CostHook | None = None,
+) -> PlacerResult:
+    """Convenience wrapper: run the SA placer once."""
+    return SimulatedAnnealingPlacer(circuit, params, cost_hook).place()

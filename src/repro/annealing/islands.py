@@ -1,0 +1,258 @@
+"""Symmetry islands for sequence-pair annealing (after Lin et al. [5]).
+
+Simulated-annealing analog placers satisfy symmetry constraints by
+construction: each symmetry group is packed into a rigid *island* whose
+internal layout is exactly symmetric, and the islands are then treated
+as single blocks by the floorplanner.  A vertical-axis island stacks one
+row per mirrored pair (the pair abutted left|right of the shared axis)
+plus one row per self-symmetric device (centred on the axis); the row
+order is an annealing degree of freedom.
+
+The right-hand member of each pair is mirrored (``flip_x = True``) so
+its pin pattern reflects the left member's — standard analog matching
+practice, and it interacts with the wirelength the annealer optimises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..netlist import Axis, Circuit, SymmetryGroup
+
+
+@dataclass
+class Block:
+    """A rigid placeable block: one free device or one symmetry island.
+
+    ``rel_x``/``rel_y`` hold member-device *centre* offsets from the
+    block's lower-left corner; ``flip_x``/``flip_y`` the members' fixed
+    mirror states inside the block.  ``allow_flip_x``/``allow_flip_y``
+    gate the annealer's whole-block mirror moves: mirroring a fused
+    alignment block along the wrong axis would break the alignment it
+    encodes (e.g. a vertical mirror of a bottom-aligned pair with
+    unequal heights aligns the tops instead).
+    """
+
+    name: str
+    width: float
+    height: float
+    device_indices: list[int]
+    rel_x: np.ndarray
+    rel_y: np.ndarray
+    flip_x: np.ndarray
+    flip_y: np.ndarray
+    group: SymmetryGroup | None = None
+    row_order: list[int] = field(default_factory=list)
+    allow_flip_x: bool = True
+    allow_flip_y: bool = True
+
+
+def _build_island(
+    circuit: Circuit, group: SymmetryGroup, row_order: list[int]
+) -> Block:
+    """Lay out one symmetry group as a rigid island.
+
+    ``row_order`` permutes the rows; row k is pair k for
+    ``k < len(pairs)`` and self-symmetric device ``k - len(pairs)``
+    otherwise.  Horizontal-axis groups are produced by transposing the
+    vertical-axis construction.
+    """
+    index = circuit.device_index()
+    pairs = group.pairs
+    selfs = group.self_symmetric
+    rows = []
+    for key in row_order:
+        if key < len(pairs):
+            a, b = pairs[key]
+            da, db = circuit.devices[a], circuit.devices[b]
+            rows.append(("pair", index[a], index[b], da.width, da.height))
+            if (da.width, da.height) != (db.width, db.height):
+                raise ValueError(
+                    f"symmetry pair ({a}, {b}) must share dimensions"
+                )
+        else:
+            s = selfs[key - len(pairs)]
+            ds = circuit.devices[s]
+            rows.append(("self", index[s], -1, ds.width, ds.height))
+
+    dev_idx: list[int] = []
+    rel_x: list[float] = []
+    rel_y: list[float] = []
+    flip_mirror: list[bool] = []
+
+    if group.axis is Axis.VERTICAL:
+        # rows stacked in y; pair members left|right of the axis
+        half_width = 0.0
+        for kind, _, _, w, _ in rows:
+            half_width = max(half_width, w if kind == "pair" else w / 2.0)
+        y_cursor = 0.0
+        for kind, ia, ib, w, h in rows:
+            yc = y_cursor + h / 2.0
+            if kind == "pair":
+                dev_idx.extend((ia, ib))
+                rel_x.extend((half_width - w / 2.0,
+                              half_width + w / 2.0))
+                rel_y.extend((yc, yc))
+                flip_mirror.extend((False, True))
+            else:
+                dev_idx.append(ia)
+                rel_x.append(half_width)
+                rel_y.append(yc)
+                flip_mirror.append(False)
+            y_cursor += h
+        width, height = 2.0 * half_width, y_cursor
+        flip_x = np.asarray(flip_mirror, dtype=bool)
+        flip_y = np.zeros(len(dev_idx), dtype=bool)
+    else:
+        # horizontal axis: columns stacked in x; pair members
+        # below|above the axis
+        half_height = 0.0
+        for kind, _, _, _, h in rows:
+            half_height = max(half_height,
+                              h if kind == "pair" else h / 2.0)
+        x_cursor = 0.0
+        for kind, ia, ib, w, h in rows:
+            xc = x_cursor + w / 2.0
+            if kind == "pair":
+                dev_idx.extend((ia, ib))
+                rel_x.extend((xc, xc))
+                rel_y.extend((half_height - h / 2.0,
+                              half_height + h / 2.0))
+                flip_mirror.extend((False, True))
+            else:
+                dev_idx.append(ia)
+                rel_x.append(xc)
+                rel_y.append(half_height)
+                flip_mirror.append(False)
+            x_cursor += w
+        width, height = x_cursor, 2.0 * half_height
+        flip_x = np.zeros(len(dev_idx), dtype=bool)
+        flip_y = np.asarray(flip_mirror, dtype=bool)
+
+    return Block(
+        name=f"island:{group.name}",
+        width=width,
+        height=height,
+        device_indices=dev_idx,
+        rel_x=np.asarray(rel_x),
+        rel_y=np.asarray(rel_y),
+        flip_x=flip_x,
+        flip_y=flip_y,
+        group=group,
+        row_order=list(row_order),
+    )
+
+
+def build_blocks(circuit: Circuit) -> list[Block]:
+    """All blocks of a circuit: one island per group + free devices."""
+    index = circuit.device_index()
+    blocks: list[Block] = []
+    in_island: set[str] = set()
+    for group in circuit.constraints.symmetry_groups:
+        order = list(range(len(group.pairs) + len(group.self_symmetric)))
+        blocks.append(_build_island(circuit, group, order))
+        in_island.update(group.devices)
+    for name, device in circuit.devices.items():
+        if name in in_island:
+            continue
+        blocks.append(Block(
+            name=name,
+            width=device.width,
+            height=device.height,
+            device_indices=[index[name]],
+            rel_x=np.array([device.width / 2.0]),
+            rel_y=np.array([device.height / 2.0]),
+            flip_x=np.zeros(1, dtype=bool),
+            flip_y=np.zeros(1, dtype=bool),
+        ))
+    return blocks
+
+
+def fuse_alignment_blocks(
+    circuit: Circuit, blocks: list[Block]
+) -> list[Block]:
+    """Merge alignment-pair blocks into rigid compound blocks.
+
+    Alignment between the two members of a symmetry *pair* is already
+    exact inside the island (pair rows share a y-centre and height), so
+    only pairs of free single-device blocks are fused here; an alignment
+    touching an island (other than the auto-satisfied case) is not
+    representable as a rigid fuse and raises.
+    """
+    by_device: dict[int, int] = {}
+    for k, block in enumerate(blocks):
+        for dev in block.device_indices:
+            by_device[dev] = k
+
+    index = circuit.device_index()
+    sym_pairs = {
+        frozenset((a, b))
+        for group in circuit.constraints.symmetry_groups
+        for a, b in group.pairs
+    }
+
+    merged: dict[int, Block] = dict(enumerate(blocks))
+    for pair in circuit.constraints.alignments:
+        if frozenset((pair.a, pair.b)) in sym_pairs:
+            continue  # exact by island construction
+        ia, ib = index[pair.a], index[pair.b]
+        ka, kb = by_device[ia], by_device[ib]
+        if ka == kb:
+            continue  # already rigid together
+        ba, bb = merged[ka], merged[kb]
+        if ba.group is not None or bb.group is not None or \
+                len(ba.device_indices) > 1 or len(bb.device_indices) > 1:
+            raise ValueError(
+                f"alignment ({pair.a}, {pair.b}) touches a non-trivial "
+                "block; the SA placer cannot fuse it rigidly"
+            )
+        fused = _fuse_pair(ba, bb, pair.kind)
+        merged[ka] = fused
+        del merged[kb]
+        by_device[ia] = ka
+        by_device[ib] = ka
+    return list(merged.values())
+
+
+def _fuse_pair(ba: Block, bb: Block, kind: str) -> Block:
+    """Rigidly combine two single-device blocks per an alignment kind."""
+    allow_fx, allow_fy = True, True
+    if kind == "bottom":
+        width = ba.width + bb.width
+        height = max(ba.height, bb.height)
+        rel = [(ba.width / 2, ba.height / 2),
+               (ba.width + bb.width / 2, bb.height / 2)]
+        # a vertical mirror would align tops instead of bottoms
+        allow_fy = ba.height == bb.height
+    elif kind == "vcenter":
+        width = max(ba.width, bb.width)
+        height = ba.height + bb.height
+        rel = [(width / 2, ba.height / 2),
+               (width / 2, ba.height + bb.height / 2)]
+    else:  # hcenter
+        width = ba.width + bb.width
+        height = max(ba.height, bb.height)
+        rel = [(ba.width / 2, height / 2),
+               (ba.width + bb.width / 2, height / 2)]
+    return Block(
+        name=f"fused:{ba.name}+{bb.name}",
+        width=width,
+        height=height,
+        device_indices=ba.device_indices + bb.device_indices,
+        rel_x=np.array([rel[0][0], rel[1][0]]),
+        rel_y=np.array([rel[0][1], rel[1][1]]),
+        flip_x=np.concatenate([ba.flip_x, bb.flip_x]),
+        flip_y=np.concatenate([ba.flip_y, bb.flip_y]),
+        allow_flip_x=allow_fx,
+        allow_flip_y=allow_fy,
+    )
+
+
+def reorder_island(circuit: Circuit, block: Block,
+                   row_order: list[int]) -> Block:
+    """Rebuild an island block with a new row permutation."""
+    if block.group is None:
+        raise ValueError("cannot reorder a free-device block")
+    return _build_island(circuit, block.group, row_order)

@@ -1,0 +1,96 @@
+"""High-level placement API: one call per method.
+
+The three conventional (performance-oblivious) flows of the paper's
+Table III:
+
+* ``eplace-a`` — ePlace-A global placement (WA + eDensity + area term,
+  Nesterov) followed by the single-stage ILP detailed placement with
+  flipping and direction refinement.
+* ``xu-ispd19`` — the previous analytical work [11]: NTUplace3-style
+  global placement (LSE + bell density, CG) followed by the two-stage
+  LP detailed placement (no flipping).
+* ``annealing`` — sequence-pair simulated annealing over symmetry
+  islands (end to end; no separate detailed step).
+
+Performance-driven variants live in :mod:`repro.perf_driven`.
+"""
+
+from __future__ import annotations
+
+import time
+
+from .annealing import SAParams, anneal_place
+from .eplace import EPlaceParams, eplace_global
+from .legalize import DetailedParams, detailed_place, \
+    lp_two_stage_detailed_placement
+from .netlist import Circuit
+from .placement import PlacerResult
+from .xu_ispd19 import XuParams, xu_global
+
+#: methods accepted by :func:`place`
+METHODS = ("eplace-a", "xu-ispd19", "annealing")
+
+
+def place_eplace_a(
+    circuit: Circuit,
+    gp_params: EPlaceParams | None = None,
+    dp_params: DetailedParams | None = None,
+) -> PlacerResult:
+    """End-to-end ePlace-A: global placement + ILP detailed placement."""
+    start = time.perf_counter()
+    gp = eplace_global(circuit, gp_params or EPlaceParams(
+        utilization=0.8, eta=0.3))
+    dp = detailed_place(gp.placement, dp_params)
+    return PlacerResult(
+        placement=dp.placement,
+        runtime_s=time.perf_counter() - start,
+        method="eplace-a",
+        stats={"gp": gp.stats, "dp": dp.stats,
+               "gp_runtime_s": gp.runtime_s, "dp_runtime_s": dp.runtime_s},
+    )
+
+
+def place_xu_ispd19(
+    circuit: Circuit,
+    gp_params: XuParams | None = None,
+    dp_params: DetailedParams | None = None,
+) -> PlacerResult:
+    """End-to-end previous analytical work [11]: CG GP + two-stage LP."""
+    start = time.perf_counter()
+    gp = xu_global(circuit, gp_params)
+    dp_params = dp_params or DetailedParams(allow_flipping=False)
+    dp = lp_two_stage_detailed_placement(gp.placement, dp_params)
+    return PlacerResult(
+        placement=dp.placement,
+        runtime_s=time.perf_counter() - start,
+        method="xu-ispd19",
+        stats={"gp": gp.stats, "dp": dp.stats,
+               "gp_runtime_s": gp.runtime_s, "dp_runtime_s": dp.runtime_s},
+    )
+
+
+def place_annealing(
+    circuit: Circuit,
+    params: SAParams | None = None,
+) -> PlacerResult:
+    """End-to-end simulated-annealing placement."""
+    return anneal_place(circuit, params)
+
+
+def place(circuit: Circuit, method: str = "eplace-a",
+          **kwargs) -> PlacerResult:
+    """Place a circuit with the named method.
+
+    ``kwargs`` forward to the method-specific entry point
+    (``gp_params``/``dp_params`` for the analytical flows, ``params``
+    for annealing).
+    """
+    if method == "eplace-a":
+        return place_eplace_a(circuit, **kwargs)
+    if method == "xu-ispd19":
+        return place_xu_ispd19(circuit, **kwargs)
+    if method == "annealing":
+        return place_annealing(circuit, **kwargs)
+    raise ValueError(
+        f"unknown method {method!r}; choose one of {METHODS}"
+    )

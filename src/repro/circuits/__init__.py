@@ -1,0 +1,31 @@
+"""Parametric generators for the paper's ten analog testcases."""
+
+from .adder import adder
+from .base import GRID, CircuitBuilder, snap_even
+from .comparator import comp1, comp2
+from .ota import cc_ota, cm_ota1, cm_ota2
+from .random_circuit import random_circuit
+from .registry import PAPER_TESTCASES, iter_testcases, make
+from .scf import scf
+from .vco import vco1, vco2
+from .vga import vga
+
+__all__ = [
+    "CircuitBuilder",
+    "GRID",
+    "PAPER_TESTCASES",
+    "adder",
+    "cc_ota",
+    "cm_ota1",
+    "cm_ota2",
+    "comp1",
+    "comp2",
+    "iter_testcases",
+    "make",
+    "random_circuit",
+    "scf",
+    "snap_even",
+    "vco1",
+    "vco2",
+    "vga",
+]

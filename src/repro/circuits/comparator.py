@@ -1,0 +1,160 @@
+"""Dynamic comparator testcases (paper's Comp1 and Comp2).
+
+* **Comp1** — a StrongARM latch: input pair, cross-coupled NMOS/PMOS
+  latch, precharge switches, tail clock device.
+* **Comp2** — a double-tail comparator: a StrongARM-like first stage
+  followed by a latch stage with its own tail, roughly 1.5x the devices.
+
+Comparator metrics are regeneration delay and input-referred offset, both
+lower-is-better; layout asymmetry and long internal nets degrade them.
+"""
+
+from __future__ import annotations
+
+from ..perf import MetricSpec, PerformanceSpec
+from .base import CircuitBuilder
+
+
+def _comp_spec(delay_ps: float, offset_mv: float,
+               power_uw: float) -> PerformanceSpec:
+    return PerformanceSpec(metrics=(
+        MetricSpec("delay_ps", delay_ps, "-", 1.5, "ps"),
+        MetricSpec("offset_mv", offset_mv, "-", 1.0, "mV"),
+        MetricSpec("power_uw", power_uw, "-", 0.5, "uW"),
+    ))
+
+
+def _strongarm(
+    b: CircuitBuilder,
+    prefix: str = "",
+    extra_outp=(),
+    extra_outn=(),
+) -> None:
+    """Add a StrongARM core (input pair + latch + precharge) to ``b``.
+
+    ``extra_outp``/``extra_outn`` are additional ``(device, pin)``
+    terminals appended to the latch output nets, letting callers hang a
+    following stage on the core without creating parallel nets.  The
+    referenced devices must be added to the builder *before* this call.
+    """
+    p = prefix
+    b.mos(f"{p}MIN1", "n", 2.4, 1.8, gm_ms=2.5, ro_kohm=40.0)
+    b.mos(f"{p}MIN2", "n", 2.4, 1.8, gm_ms=2.5, ro_kohm=40.0)
+    b.mos(f"{p}MTAIL", "n", 3.0, 1.6, gm_ms=1.5, ro_kohm=50.0)
+    b.mos(f"{p}MN1", "n", 2.0, 1.6, gm_ms=2.0, ro_kohm=45.0)
+    b.mos(f"{p}MN2", "n", 2.0, 1.6, gm_ms=2.0, ro_kohm=45.0)
+    b.mos(f"{p}MP1", "p", 2.2, 1.6, gm_ms=1.6, ro_kohm=50.0)
+    b.mos(f"{p}MP2", "p", 2.2, 1.6, gm_ms=1.6, ro_kohm=50.0)
+    b.switch(f"{p}SW1", 1.2, 1.0)
+    b.switch(f"{p}SW2", 1.2, 1.0)
+
+    b.net(f"{p}vinp", [(f"{p}MIN1", "g")])
+    b.net(f"{p}vinn", [(f"{p}MIN2", "g")])
+    b.net(f"{p}tail", [(f"{p}MIN1", "s"), (f"{p}MIN2", "s"),
+                       (f"{p}MTAIL", "d")])
+    b.net(f"{p}di1", [(f"{p}MIN1", "d"), (f"{p}MN1", "s"),
+                      (f"{p}SW1", "a")], critical=True)
+    b.net(f"{p}di2", [(f"{p}MIN2", "d"), (f"{p}MN2", "s"),
+                      (f"{p}SW2", "a")], critical=True)
+    b.net(f"{p}outp", [(f"{p}MN1", "d"), (f"{p}MP1", "d"),
+                       (f"{p}MN2", "g"), (f"{p}MP2", "g"),
+                       *extra_outp],
+          critical=True)
+    b.net(f"{p}outn", [(f"{p}MN2", "d"), (f"{p}MP2", "d"),
+                       (f"{p}MN1", "g"), (f"{p}MP1", "g"),
+                       *extra_outn],
+          critical=True)
+    b.net(f"{p}clk", [(f"{p}MTAIL", "g"), (f"{p}SW1", "clk"),
+                      (f"{p}SW2", "clk")], weight=0.5)
+    b.net(f"{p}vdd", [(f"{p}MP1", "s"), (f"{p}MP2", "s"),
+                      (f"{p}SW1", "b"), (f"{p}SW2", "b")], weight=0.2)
+    b.net(f"{p}vss", [(f"{p}MTAIL", "s")], weight=0.2)
+
+    b.symmetry(f"{p}latch",
+               pairs=[(f"{p}MIN1", f"{p}MIN2"), (f"{p}MN1", f"{p}MN2"),
+                      (f"{p}MP1", f"{p}MP2"), (f"{p}SW1", f"{p}SW2")],
+               self_symmetric=[f"{p}MTAIL"])
+
+
+def comp1():
+    """StrongARM latch comparator (paper's Comp1)."""
+    b = CircuitBuilder("Comp1")
+    # output SR buffers (created first so the core's output nets can
+    # include their gate terminals)
+    b.mos("MB1", "n", 1.6, 1.2, gm_ms=1.0, ro_kohm=60.0)
+    b.mos("MB2", "n", 1.6, 1.2, gm_ms=1.0, ro_kohm=60.0)
+    b.mos("MB3", "p", 1.8, 1.2, gm_ms=0.9, ro_kohm=60.0)
+    b.mos("MB4", "p", 1.8, 1.2, gm_ms=0.9, ro_kohm=60.0)
+    _strongarm(b,
+               extra_outp=[("MB1", "g"), ("MB3", "g")],
+               extra_outn=[("MB2", "g"), ("MB4", "g")])
+    b.net("q", [("MB1", "d"), ("MB3", "d")])
+    b.net("qb", [("MB2", "d"), ("MB4", "d")])
+    b.net("bufvss", [("MB1", "s"), ("MB2", "s")], weight=0.2)
+    b.net("bufvdd", [("MB3", "s"), ("MB4", "s")], weight=0.2)
+    b.symmetry("buf", pairs=[("MB1", "MB2"), ("MB3", "MB4")])
+    b.align("MB1", "MB2", kind="bottom")
+    return b.build(
+        family="comparator",
+        spec=_comp_spec(delay_ps=120.6, offset_mv=3.07, power_uw=37.6),
+        model={
+            "delay0_ps": 63.99,
+            "offset0_mv": 1.975,
+            "power0_uw": 24.17,
+            "critical_nets": ("di1", "di2", "outp", "outn"),
+            "coupling": {"victims": ("MIN1", "MIN2"),
+                         "aggressors": ("MTAIL",)},
+            "coupling_k": 2.864,
+        },
+    )
+
+
+def comp2():
+    """Double-tail comparator (paper's Comp2)."""
+    b = CircuitBuilder("Comp2")
+    # second (latch) stage with its own tail; coupling caps CO1/CO2 hang
+    # between the core outputs and the latch inputs
+    b.mos("ML1", "n", 2.0, 1.6, gm_ms=2.2, ro_kohm=45.0)
+    b.mos("ML2", "n", 2.0, 1.6, gm_ms=2.2, ro_kohm=45.0)
+    b.mos("MLP1", "p", 2.2, 1.6, gm_ms=1.7, ro_kohm=48.0)
+    b.mos("MLP2", "p", 2.2, 1.6, gm_ms=1.7, ro_kohm=48.0)
+    b.mos("MLT", "p", 2.8, 1.6, gm_ms=1.2, ro_kohm=55.0)
+    b.switch("LSW1", 1.2, 1.0)
+    b.switch("LSW2", 1.2, 1.0)
+    b.cap("CO1", 2.4, 2.4, c_ff=60.0)
+    b.cap("CO2", 2.4, 2.4, c_ff=60.0)
+    _strongarm(b,
+               extra_outp=[("CO1", "p")],
+               extra_outn=[("CO2", "p")])
+
+    b.net("lin1", [("ML1", "g"), ("CO1", "n")], critical=True)
+    b.net("lin2", [("ML2", "g"), ("CO2", "n")], critical=True)
+    b.net("ltail", [("MLP1", "s"), ("MLP2", "s"), ("MLT", "d")])
+    b.net("lq", [("ML1", "d"), ("MLP1", "d"), ("ML2", "g"),
+                 ("LSW1", "a")], critical=True)
+    b.net("lqb", [("ML2", "d"), ("MLP2", "d"), ("ML1", "g"),
+                  ("LSW2", "a")], critical=True)
+    b.net("lclk", [("MLT", "g"), ("LSW1", "clk"), ("LSW2", "clk")],
+          weight=0.5)
+    b.net("lvss", [("ML1", "s"), ("ML2", "s"),
+                   ("LSW1", "b"), ("LSW2", "b")], weight=0.2)
+    b.net("lvdd", [("MLT", "s")], weight=0.2)
+
+    b.symmetry("latch2",
+               pairs=[("ML1", "ML2"), ("MLP1", "MLP2"),
+                      ("LSW1", "LSW2"), ("CO1", "CO2")],
+               self_symmetric=["MLT"])
+    b.align("CO1", "CO2", kind="bottom")
+    return b.build(
+        family="comparator",
+        spec=_comp_spec(delay_ps=137.5, offset_mv=3.56, power_uw=53.3),
+        model={
+            "delay0_ps": 82.3,
+            "offset0_mv": 2.451,
+            "power0_uw": 36.8,
+            "critical_nets": ("di1", "di2", "outp", "outn", "lq", "lqb"),
+            "coupling": {"victims": ("MIN1", "MIN2"),
+                         "aggressors": ("MTAIL", "MLT")},
+            "coupling_k": 2.690,
+        },
+    )

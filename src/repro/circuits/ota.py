@@ -1,0 +1,187 @@
+"""Operational transconductance amplifier testcases.
+
+Three OTAs matching the paper's testcase list:
+
+* **CC-OTA** — a cascode-compensated two-stage OTA (the circuit whose
+  detailed metrics the paper reports in Table VI: gain, unity-gain
+  frequency, bandwidth, phase margin).
+* **CM-OTA1** — a single-stage current-mirror OTA.
+* **CM-OTA2** — a larger current-mirror OTA with interdigitated mirror
+  banks (roughly 1.5x the device count of CM-OTA1).
+
+The electrical parameters put the zero-parasitic performance comfortably
+near the specifications so that layout parasitics (which grow with the
+critical nets' wirelength) decide how much of the spec survives — the
+same role layout plays in the paper's GF12 flows.
+"""
+
+from __future__ import annotations
+
+from ..perf import MetricSpec, PerformanceSpec
+from .base import CircuitBuilder
+
+
+def _ota_spec(gain_db: float, ugf_mhz: float, bw_mhz: float,
+              pm_deg: float) -> PerformanceSpec:
+    return PerformanceSpec(metrics=(
+        MetricSpec("gain_db", gain_db, "+", 1.0, "dB"),
+        MetricSpec("ugf_mhz", ugf_mhz, "+", 1.0, "MHz"),
+        MetricSpec("bw_mhz", bw_mhz, "+", 1.0, "MHz"),
+        MetricSpec("pm_deg", pm_deg, "+", 1.0, "deg"),
+    ))
+
+
+def cc_ota():
+    """Cascode-compensated two-stage OTA (paper's CC-OTA, Table VI)."""
+    b = CircuitBuilder("CC-OTA")
+    # input differential pair and tail source
+    b.mos("M1", "n", 2.4, 1.8, gm_ms=2.2, ro_kohm=40.0)
+    b.mos("M2", "n", 2.4, 1.8, gm_ms=2.2, ro_kohm=40.0)
+    b.mos("M0", "n", 3.2, 1.6, gm_ms=1.2, ro_kohm=60.0)
+    # first-stage PMOS mirror load
+    b.mos("M3", "p", 2.8, 1.8, gm_ms=1.4, ro_kohm=55.0)
+    b.mos("M4", "p", 2.8, 1.8, gm_ms=1.4, ro_kohm=55.0)
+    # cascode compensation devices
+    b.mos("MC1", "n", 1.6, 1.4, gm_ms=1.8, ro_kohm=70.0)
+    b.mos("MC2", "n", 1.6, 1.4, gm_ms=1.8, ro_kohm=70.0)
+    # second stage: common-source + current source
+    b.mos("M5", "n", 3.0, 2.0, gm_ms=4.5, ro_kohm=30.0)
+    b.mos("M6", "p", 3.0, 2.0, gm_ms=1.6, ro_kohm=45.0)
+    # bias branch
+    b.mos("MB1", "n", 1.6, 1.4, gm_ms=0.8, ro_kohm=80.0)
+    b.mos("MB2", "p", 1.6, 1.4, gm_ms=0.8, ro_kohm=80.0)
+    # compensation capacitor
+    b.cap("CC", 3.2, 3.2, c_ff=250.0)
+
+    b.net("vinp", [("M1", "g")])
+    b.net("vinn", [("M2", "g")])
+    b.net("tail", [("M1", "s"), ("M2", "s"), ("M0", "d")])
+    b.net("n1", [("M1", "d"), ("M3", "d"), ("M3", "g"), ("M4", "g"),
+                 ("MC1", "s")], critical=True)
+    b.net("n2", [("M2", "d"), ("M4", "d"), ("MC2", "s"), ("M5", "g")],
+          critical=True)
+    b.net("casc", [("MC1", "d"), ("MC2", "d"), ("CC", "p")])
+    b.net("vout", [("M5", "d"), ("M6", "d"), ("CC", "n")],
+          critical=True)
+    b.net("vbias", [("M0", "g"), ("MB1", "g"), ("MB1", "d"), ("MB2", "d")])
+    b.net("vbp", [("M6", "g"), ("MB2", "g")])
+    b.net("vcasc", [("MC1", "g"), ("MC2", "g")])
+    b.net("vss", [("M0", "s"), ("M5", "s"), ("MB1", "s")], weight=0.2)
+    b.net("vdd", [("M3", "s"), ("M4", "s"), ("M6", "s"), ("MB2", "s")],
+          weight=0.2)
+
+    b.symmetry("inpair", pairs=[("M1", "M2"), ("M3", "M4"),
+                                ("MC1", "MC2")],
+               self_symmetric=["M0"])
+    b.align("M5", "M6", kind="vcenter")
+    return b.build(
+        family="ota",
+        spec=_ota_spec(25.0, 1200.0, 70.0, 90.0),
+        model={
+            # zero-parasitic baselines calibrated so a conventional
+            # ePlace-A placement reproduces the paper's Table VI row
+            "load_cap_ff": 20.0,
+            "cap_sens_ff_per_um": 5.0,
+            "gain0_db": 29.82,
+            "ugf0_mhz": 2125.9,
+            "bw0_mhz": 245.2,
+            "pm0_deg": 100.89,
+            "p2_ratio": 1.55,
+            "critical_nets": ("n1", "n2", "vout"),
+            "mismatch_gain_db_per_um": 0.8,
+            "coupling": {"victims": ("M1", "M2"),
+                         "aggressors": ("MB1", "MB2")},
+            "coupling_k": 6.371,
+        },
+    )
+
+
+def _cm_ota(name: str, mirror_banks: int, spec: PerformanceSpec,
+            model: dict):
+    """Shared current-mirror OTA topology with parametric mirror banks."""
+    b = CircuitBuilder(name)
+    b.mos("M1", "n", 2.4, 1.8, gm_ms=2.0, ro_kohm=45.0)
+    b.mos("M2", "n", 2.4, 1.8, gm_ms=2.0, ro_kohm=45.0)
+    b.mos("M0", "n", 3.2, 1.6, gm_ms=1.0, ro_kohm=65.0)
+    # diode-connected first-stage loads
+    b.mos("M3", "p", 2.6, 1.8, gm_ms=1.2, ro_kohm=60.0)
+    b.mos("M4", "p", 2.6, 1.8, gm_ms=1.2, ro_kohm=60.0)
+
+    left_units, right_units = [], []
+    for k in range(mirror_banks):
+        lu = b.mos(f"M5_{k}", "p", 2.6, 1.8, gm_ms=1.2, ro_kohm=60.0)
+        ru = b.mos(f"M6_{k}", "p", 2.6, 1.8, gm_ms=1.2, ro_kohm=60.0)
+        left_units.append(lu.name)
+        right_units.append(ru.name)
+    # NMOS mirror routing the left branch to the output
+    b.mos("M7", "n", 2.4, 1.6, gm_ms=1.4, ro_kohm=55.0)
+    b.mos("M8", "n", 2.4, 1.6, gm_ms=1.4, ro_kohm=55.0)
+    b.mos("MB1", "n", 1.6, 1.4, gm_ms=0.8, ro_kohm=80.0)
+    b.cap("CL", 3.6, 3.6, c_ff=200.0)
+
+    b.net("vinp", [("M1", "g")])
+    b.net("vinn", [("M2", "g")])
+    b.net("tail", [("M1", "s"), ("M2", "s"), ("M0", "d")])
+    b.net("n1", [("M1", "d"), ("M3", "d"), ("M3", "g")]
+          + [(m, "g") for m in left_units], critical=True)
+    b.net("n2", [("M2", "d"), ("M4", "d"), ("M4", "g")]
+          + [(m, "g") for m in right_units], critical=True)
+    b.net("n3", [(m, "d") for m in left_units]
+          + [("M7", "d"), ("M7", "g"), ("M8", "g")], critical=True)
+    b.net("vout", [(m, "d") for m in right_units]
+          + [("M8", "d"), ("CL", "p")], critical=True)
+    b.net("vbias", [("M0", "g"), ("MB1", "g"), ("MB1", "d")])
+    b.net("vss", [("M0", "s"), ("M7", "s"), ("M8", "s"), ("MB1", "s"),
+                  ("CL", "n")], weight=0.2)
+    b.net("vdd", [("M3", "s"), ("M4", "s")]
+          + [(m, "s") for m in left_units + right_units], weight=0.2)
+
+    b.symmetry("inpair", pairs=[("M1", "M2"), ("M3", "M4"), ("M7", "M8")],
+               self_symmetric=["M0"])
+    b.symmetry("mirror", pairs=list(zip(left_units, right_units)))
+    b.align("M3", "M4", kind="bottom")
+    return b.build(family="ota", spec=spec, model=model)
+
+
+def cm_ota1():
+    """Single-stage current-mirror OTA (paper's CM-OTA1)."""
+    return _cm_ota(
+        "CM-OTA1", mirror_banks=2,
+        spec=_ota_spec(22.0, 1154.0, 66.4, 77.7),
+        model={
+            "load_cap_ff": 18.0,
+            "cap_sens_ff_per_um": 5.0,
+            "gain0_db": 27.2,
+            "ugf0_mhz": 1849.1,
+            "bw0_mhz": 278.9,
+            "pm0_deg": 90.32,
+            "p2_ratio": 1.55,
+            "critical_nets": ("n1", "n2", "n3", "vout"),
+            "mismatch_gain_db_per_um": 0.7,
+            "coupling": {"victims": ("M1", "M2"),
+                         "aggressors": ("MB1",)},
+            "coupling_k": 11.714,
+        },
+    )
+
+
+def cm_ota2():
+    """Larger interdigitated current-mirror OTA (paper's CM-OTA2)."""
+    return _cm_ota(
+        "CM-OTA2", mirror_banks=4,
+        spec=_ota_spec(24.0, 1006.0, 54.7, 72.7),
+        model={
+            "load_cap_ff": 25.0,
+            "cap_sens_ff_per_um": 5.0,
+            "gain0_db": 29.73,
+            "ugf0_mhz": 1954.3,
+            "bw0_mhz": 415.9,
+            "pm0_deg": 82.48,
+            "p2_ratio": 1.55,
+            "critical_nets": ("n1", "n2", "n3", "vout"),
+            "mismatch_gain_db_per_um": 0.7,
+            "coupling": {"victims": ("M1", "M2"),
+                         "aggressors": ("MB1",)},
+            "coupling_k": 12.557,
+        },
+    )

@@ -1,0 +1,109 @@
+"""Random constrained-circuit generator for fuzzing and benchmarks.
+
+Produces structurally valid circuits with randomised device counts,
+dimensions (always even grid multiples), net topologies, symmetry
+groups, alignments and ordering chains — the full constraint surface
+the placers must honour.  Used by the property-based tests to fuzz the
+end-to-end flows beyond the ten hand-built paper testcases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..netlist import Axis, Circuit
+from .base import GRID, CircuitBuilder
+
+
+def random_circuit(
+    seed: int,
+    min_devices: int = 6,
+    max_devices: int = 24,
+    symmetry_fraction: float = 0.5,
+    with_alignment: bool = True,
+    with_ordering: bool = True,
+) -> Circuit:
+    """Build a random, valid, constrained circuit.
+
+    Determinism: the same ``seed`` always yields the same circuit.
+    Devices are MOS-like rectangles with even-grid dimensions;
+    symmetric pairs share dimensions by construction.  Roughly
+    ``symmetry_fraction`` of the devices land in symmetry groups.
+    """
+    rng = np.random.default_rng(seed)
+    b = CircuitBuilder(f"random-{seed}")
+    n = int(rng.integers(min_devices, max_devices + 1))
+
+    def dims() -> tuple[float, float]:
+        # even multiples of the grid in [0.8, 3.6] um
+        w = 2 * GRID * int(rng.integers(4, 19))
+        h = 2 * GRID * int(rng.integers(4, 19))
+        return w, h
+
+    # symmetry groups first so pairs share dimensions
+    names: list[str] = []
+    pair_budget = int(n * symmetry_fraction) // 2
+    group_id = 0
+    while pair_budget > 0:
+        group_pairs = int(rng.integers(1, min(pair_budget, 3) + 1))
+        pairs = []
+        for k in range(group_pairs):
+            w, h = dims()
+            a = f"G{group_id}A{k}"
+            bdev = f"G{group_id}B{k}"
+            b.mos(a, "n", w, h)
+            b.mos(bdev, "n", w, h)
+            pairs.append((a, bdev))
+            names.extend((a, bdev))
+        selfs = []
+        if rng.random() < 0.5:
+            w, h = dims()
+            s = f"G{group_id}S"
+            b.mos(s, "p", w, h)
+            selfs.append(s)
+            names.append(s)
+        axis = Axis.VERTICAL if rng.random() < 0.8 else Axis.HORIZONTAL
+        b.symmetry(f"g{group_id}", pairs=pairs, self_symmetric=selfs,
+                   axis=axis)
+        pair_budget -= group_pairs
+        group_id += 1
+
+    while len(names) < n:
+        w, h = dims()
+        name = f"F{len(names)}"
+        b.mos(name, "p" if rng.random() < 0.5 else "n", w, h)
+        names.append(name)
+
+    # alignment between two free devices (outside symmetry groups)
+    free = [x for x in names if x.startswith("F")]
+    aligned: set[str] = set()
+    if with_alignment and len(free) >= 2:
+        a, c = rng.choice(free, size=2, replace=False)
+        kind = str(rng.choice(["bottom", "vcenter", "hcenter"]))
+        b.align(str(a), str(c), kind=kind)
+        aligned = {str(a), str(c)}
+
+    # an ordering chain over free devices *not* in the aligned pair —
+    # an aligned pair fuses into one rigid block in the SA placer, and
+    # a chain visiting both its members would be cyclic at block level
+    chain_pool = [x for x in free if x not in aligned]
+    if with_ordering and len(chain_pool) >= 3:
+        chain = [str(x)
+                 for x in rng.choice(chain_pool, size=3, replace=False)]
+        b.order(chain, axis=Axis.VERTICAL, name="rand-order")
+
+    # nets: mostly 2-4 pin, a couple of larger fanouts
+    num_nets = max(3, int(n * rng.uniform(0.6, 1.2)))
+    pins = ("g", "d", "s")
+    for e in range(num_nets):
+        degree = int(rng.integers(2, min(5, n) + 1))
+        devs = rng.choice(names, size=degree, replace=False)
+        terminals = [(str(d), str(rng.choice(pins))) for d in devs]
+        b.net(f"n{e}", terminals,
+              critical=bool(rng.random() < 0.25))
+    # one supply-style wide net
+    wide = rng.choice(names, size=min(n, 6), replace=False)
+    b.net("vss", [(str(d), "s") for d in wide], weight=0.2)
+
+    return b.build(family="random", model={"critical_nets": tuple(
+        net.name for net in b.circuit.nets if net.critical)})

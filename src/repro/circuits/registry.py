@@ -1,0 +1,50 @@
+"""Registry of the paper's ten testcases.
+
+``make(name)`` builds a fresh circuit each call (circuits are mutable);
+``PAPER_TESTCASES`` lists names in the paper's Table III row order.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+
+from ..netlist import Circuit
+from .adder import adder
+from .comparator import comp1, comp2
+from .ota import cc_ota, cm_ota1, cm_ota2
+from .scf import scf
+from .vco import vco1, vco2
+from .vga import vga
+
+_FACTORIES: dict[str, Callable[[], Circuit]] = {
+    "Adder": adder,
+    "CC-OTA": cc_ota,
+    "Comp1": comp1,
+    "Comp2": comp2,
+    "CM-OTA1": cm_ota1,
+    "CM-OTA2": cm_ota2,
+    "SCF": scf,
+    "VGA": vga,
+    "VCO1": vco1,
+    "VCO2": vco2,
+}
+
+#: Table III row order.
+PAPER_TESTCASES: tuple[str, ...] = tuple(_FACTORIES)
+
+
+def make(name: str) -> Circuit:
+    """Build a fresh instance of a named paper testcase."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown testcase {name!r}; available: {list(_FACTORIES)}"
+        ) from None
+    return factory()
+
+
+def iter_testcases() -> Iterator[Circuit]:
+    """Yield a fresh instance of every paper testcase, in table order."""
+    for name in PAPER_TESTCASES:
+        yield make(name)

@@ -1,0 +1,112 @@
+"""Switched-capacitor filter testcase (paper's SCF, the largest circuit).
+
+A biquad switched-capacitor filter: two 5T opamps, two banks of unit
+sampling/integration capacitors (the dominant area, matching the paper's
+SCF being ~20x larger than the other circuits), and the switch matrix.
+Capacitor ratio accuracy sets the filter's cutoff accuracy, so the unit
+caps of each bank form symmetry pairs; the integrator summing nodes are
+the critical nets.
+
+Metrics: cutoff-frequency accuracy and settling margin (both
+higher-is-better after normalisation), output swing.
+"""
+
+from __future__ import annotations
+
+from ..perf import MetricSpec, PerformanceSpec
+from .base import CircuitBuilder
+
+
+def _opamp(b: CircuitBuilder, p: str) -> None:
+    """Five-transistor opamp named with prefix ``p``; nets wired later."""
+    b.mos(f"{p}M1", "n", 2.2, 1.6, gm_ms=2.0, ro_kohm=45.0)
+    b.mos(f"{p}M2", "n", 2.2, 1.6, gm_ms=2.0, ro_kohm=45.0)
+    b.mos(f"{p}M3", "p", 2.4, 1.6, gm_ms=1.3, ro_kohm=55.0)
+    b.mos(f"{p}M4", "p", 2.4, 1.6, gm_ms=1.3, ro_kohm=55.0)
+    b.mos(f"{p}M0", "n", 2.8, 1.4, gm_ms=0.9, ro_kohm=70.0)
+
+
+def scf():
+    """Biquad switched-capacitor filter with unit-capacitor banks."""
+    b = CircuitBuilder("SCF")
+    _opamp(b, "A")
+    _opamp(b, "B")
+
+    # two banks of unit capacitors; 6 units each, 8 µm squares dominate area
+    bank_a = [b.cap(f"CUA{k}", 8.0, 8.0, c_ff=500.0).name for k in range(6)]
+    bank_b = [b.cap(f"CUB{k}", 8.0, 8.0, c_ff=500.0).name for k in range(6)]
+    # feedback/integration caps
+    b.cap("CFA", 9.0, 9.0, c_ff=800.0)
+    b.cap("CFB", 9.0, 9.0, c_ff=800.0)
+    # switch matrix (two phases x two integrators x in/out)
+    switches = [b.switch(f"S{k}", 1.4, 1.2, ron_kohm=1.0).name
+                for k in range(8)]
+
+    # integrator A: sampling units dump onto virtual ground vga_n
+    b.net("vin", [("S0", "a")])
+    b.net("samp_a", [("S0", "b"), ("S1", "a")]
+          + [(c, "p") for c in bank_a[:3]])
+    b.net("vg_a", [("S1", "b"), ("AM1", "g"), ("CFA", "p")]
+          + [(c, "n") for c in bank_a[:3]], critical=True)
+    b.net("ref_a", [("AM2", "g")] + [(c, "p") for c in bank_a[3:]])
+    b.net("gnd_a", [(c, "n") for c in bank_a[3:]], weight=0.5)
+    b.net("taila", [("AM1", "s"), ("AM2", "s"), ("AM0", "d")])
+    b.net("n1a", [("AM1", "d"), ("AM3", "d"), ("AM3", "g"), ("AM4", "g")],
+          critical=True)
+    b.net("vout_a", [("AM2", "d"), ("AM4", "d"), ("CFA", "n"),
+                     ("S2", "a")], critical=True)
+
+    # integrator B fed from integrator A through the phase-2 switches
+    b.net("samp_b", [("S2", "b"), ("S3", "a")]
+          + [(c, "p") for c in bank_b[:3]])
+    b.net("vg_b", [("S3", "b"), ("BM1", "g"), ("CFB", "p")]
+          + [(c, "n") for c in bank_b[:3]], critical=True)
+    b.net("ref_b", [("BM2", "g")] + [(c, "p") for c in bank_b[3:]])
+    b.net("gnd_b", [(c, "n") for c in bank_b[3:]], weight=0.5)
+    b.net("tailb", [("BM1", "s"), ("BM2", "s"), ("BM0", "d")])
+    b.net("n1b", [("BM1", "d"), ("BM3", "d"), ("BM3", "g"), ("BM4", "g")],
+          critical=True)
+    b.net("vout_b", [("BM2", "d"), ("BM4", "d"), ("CFB", "n"),
+                     ("S4", "a")], critical=True)
+    # global feedback to the first summing node
+    b.net("fb", [("S4", "b"), ("S5", "a")])
+    b.net("fb2", [("S5", "b"), ("S6", "a")])
+    b.net("out", [("S6", "b"), ("S7", "a")])
+    b.net("outbuf", [("S7", "b")])
+
+    b.net("ph1", [("S0", "clk"), ("S3", "clk"), ("S5", "clk"),
+                  ("S7", "clk")], weight=0.3)
+    b.net("ph2", [("S1", "clk"), ("S2", "clk"), ("S4", "clk"),
+                  ("S6", "clk")], weight=0.3)
+    b.net("vbias", [("AM0", "g"), ("BM0", "g")])
+    b.net("vss", [("AM0", "s"), ("BM0", "s")], weight=0.2)
+    b.net("vdd", [("AM3", "s"), ("AM4", "s"), ("BM3", "s"), ("BM4", "s")],
+          weight=0.2)
+
+    # matching: unit caps pair up across each bank; opamp pairs symmetric
+    b.symmetry("bank_a", pairs=list(zip(bank_a[:3], bank_a[3:])))
+    b.symmetry("bank_b", pairs=list(zip(bank_b[:3], bank_b[3:])))
+    b.symmetry("opa", pairs=[("AM1", "AM2"), ("AM3", "AM4")],
+               self_symmetric=["AM0"])
+    b.symmetry("opb", pairs=[("BM1", "BM2"), ("BM3", "BM4")],
+               self_symmetric=["BM0"])
+    b.align("CFA", "CFB", kind="bottom")
+    __ = switches  # switch names only needed during construction
+    return b.build(
+        family="scf",
+        spec=PerformanceSpec(metrics=(
+            MetricSpec("cutoff_acc_pct", 97.77, "+", 1.0, "%"),
+            MetricSpec("settle_margin_pct", 76.0, "+", 1.0, "%"),
+            MetricSpec("swing_v", 0.9, "+", 0.5, "V"),
+        )),
+        model={
+            "cutoff_acc0_pct": 107.88,
+            "settle_margin0_pct": 146.38,
+            "swing0_v": 1.0873,
+            "load_cap_ff": 500.0,
+            "critical_nets": ("vg_a", "vg_b", "vout_a", "vout_b"),
+            "coupling": {"victims": ("AM1", "AM2", "BM1", "BM2"),
+                         "aggressors": ("S0", "S5", "S6", "S7")},
+            "coupling_k": 3.584,
+        },
+    )

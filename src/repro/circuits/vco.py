@@ -1,0 +1,135 @@
+"""Voltage-controlled oscillator testcases (paper's VCO1 and VCO2).
+
+Both are current-starved ring oscillators; VCO2 adds more stages plus an
+output buffer chain.  Each delay stage is an inverter (NMOS + PMOS) with
+starving current sources top and bottom.  The ring's signal path is a
+natural application of the paper's *ordering* constraint (monotone signal
+path, constraint 4i): the stages must appear left-to-right in ring order.
+
+VCO metrics: oscillation frequency and tuning range (higher is better),
+phase-noise proxy (lower is better).  Inter-stage net parasitics slow the
+ring and worsen the noise proxy.
+"""
+
+from __future__ import annotations
+
+from ..netlist import Axis
+from ..perf import MetricSpec, PerformanceSpec
+from .base import CircuitBuilder
+
+
+def _vco_spec(freq_ghz: float, tune_pct: float,
+              pnoise: float) -> PerformanceSpec:
+    return PerformanceSpec(metrics=(
+        MetricSpec("freq_ghz", freq_ghz, "+", 1.5, "GHz"),
+        MetricSpec("tune_pct", tune_pct, "+", 1.0, "%"),
+        MetricSpec("pnoise_au", pnoise, "-", 1.0, "a.u."),
+    ))
+
+
+def _ring_vco(name: str, stages: int, buffers: int,
+              spec: PerformanceSpec, model: dict):
+    b = CircuitBuilder(name)
+    stage_nmos, stage_pmos = [], []
+    for k in range(stages):
+        b.mos(f"MP{k}", "p", 2.4, 1.8, gm_ms=1.8, ro_kohm=40.0)
+        b.mos(f"MN{k}", "n", 2.2, 1.8, gm_ms=2.2, ro_kohm=38.0)
+        b.mos(f"MSP{k}", "p", 2.0, 1.4, gm_ms=1.0, ro_kohm=60.0)
+        b.mos(f"MSN{k}", "n", 2.0, 1.4, gm_ms=1.0, ro_kohm=60.0)
+        stage_pmos.append(f"MP{k}")
+        stage_nmos.append(f"MN{k}")
+
+    # buffer chain devices are created before the nets so the ring-tap
+    # resistor's input terminal can join the ring0 net directly
+    for j in range(buffers):
+        b.mos(f"BUFP{j}", "p", 2.0, 1.4, gm_ms=1.2, ro_kohm=45.0)
+        b.mos(f"BUFN{j}", "n", 1.8, 1.4, gm_ms=1.5, ro_kohm=42.0)
+        b.res(f"RT{j}", 1.2, 2.0, r_kohm=0.2)
+
+    # ring connectivity: stage k output feeds stage (k+1) % stages input
+    for k in range(stages):
+        nxt = (k + 1) % stages
+        terms = [(f"MP{k}", "d"), (f"MN{k}", "d"),
+                 (f"MP{nxt}", "g"), (f"MN{nxt}", "g")]
+        if k == 0 and buffers:
+            terms.append(("RT0", "p"))
+        b.net(f"ring{k}", terms, critical=True)
+        b.net(f"vsrcp{k}", [(f"MSP{k}", "d"), (f"MP{k}", "s")], weight=0.5)
+        b.net(f"vsrcn{k}", [(f"MSN{k}", "d"), (f"MN{k}", "s")], weight=0.5)
+
+    # control/bias distribution
+    b.mos("MBIAS", "n", 2.6, 1.6, gm_ms=1.0, ro_kohm=70.0)
+    b.net("vctrl", [("MBIAS", "g")]
+          + [(m, "g") for m in (f"MSN{k}" for k in range(stages))])
+    b.net("vctrlp", [("MBIAS", "d")]
+          + [(f"MSP{k}", "g") for k in range(stages)])
+    b.net("vdd", [(f"MSP{k}", "s") for k in range(stages)], weight=0.2)
+    b.net("vss", [("MBIAS", "s")]
+          + [(f"MSN{k}", "s") for k in range(stages)], weight=0.2)
+
+    # output buffer chain hanging off stage 0's output via tap resistors
+    for j in range(buffers):
+        b.net(f"buftap{j}",
+              [(f"RT{j}", "n"), (f"BUFP{j}", "g"), (f"BUFN{j}", "g")])
+        out_terms = [(f"BUFP{j}", "d"), (f"BUFN{j}", "d")]
+        if j + 1 < buffers:
+            out_terms.append((f"RT{j + 1}", "p"))
+        b.net(f"bufout{j}", out_terms)
+        b.net(f"bufvdd{j}", [(f"BUFP{j}", "s")], weight=0.2)
+        b.net(f"bufvss{j}", [(f"BUFN{j}", "s")], weight=0.2)
+
+    # stage inverters keep a horizontal monotone order around the ring
+    b.order(stage_nmos, axis=Axis.VERTICAL, name="ring_order")
+    # each stage's P/N inverter halves centre-aligned vertically
+    for k in range(stages):
+        b.align(f"MP{k}", f"MN{k}", kind="vcenter")
+    # starving sources symmetric around the ring midline
+    half = stages // 2
+    pairs = [(f"MSP{k}", f"MSP{stages - 1 - k}") for k in range(half)]
+    pairs += [(f"MSN{k}", f"MSN{stages - 1 - k}") for k in range(half)]
+    selfs = []
+    if stages % 2 == 1:
+        selfs = [f"MSP{half}", f"MSN{half}"]
+    b.symmetry("starve", pairs=pairs, self_symmetric=selfs)
+    return b.build(family="vco", spec=spec, model=model)
+
+
+def vco1():
+    """3-stage current-starved ring VCO (paper's VCO1)."""
+    return _ring_vco(
+        "VCO1", stages=3, buffers=2,
+        spec=_vco_spec(2.51, 27.2, 1.15),
+        model={
+            "freq0_ghz": 4.4245,
+            "tune0_pct": 28.4,
+            "pnoise0_au": 0.3353,
+            "stage_cap_ff": 18.0,
+            "critical_nets": ("ring0", "ring1", "ring2"),
+            "coupling": {"victims": ("MP0", "MN0", "MP1", "MN1",
+                                     "MP2", "MN2"),
+                         "aggressors": ("BUFP0", "BUFN0",
+                                        "BUFP1", "BUFN1")},
+            "coupling_k": 0.331,
+        },
+    )
+
+
+def vco2():
+    """5-stage ring VCO with a longer buffer chain (paper's VCO2)."""
+    return _ring_vco(
+        "VCO2", stages=5, buffers=3,
+        spec=_vco_spec(1.89, 33.0, 1.46),
+        model={
+            "freq0_ghz": 3.251,
+            "tune0_pct": 34.95,
+            "pnoise0_au": 0.3551,
+            "stage_cap_ff": 22.0,
+            "critical_nets": ("ring0", "ring1", "ring2", "ring3",
+                              "ring4"),
+            "coupling": {"victims": ("MP0", "MN0", "MP2", "MN2",
+                                     "MP4", "MN4"),
+                         "aggressors": ("BUFP0", "BUFN0", "BUFP1",
+                                        "BUFN1", "BUFP2", "BUFN2")},
+            "coupling_k": 0.196,
+        },
+    )

@@ -1,0 +1,89 @@
+"""Variable gain amplifier testcase (paper's VGA).
+
+A two-stage VGA: a degenerated differential pair whose gain is switched
+by shorting segments of the degeneration resistor string, followed by a
+fixed-gain differential stage.  Gain-step accuracy depends on matching
+(symmetry) and the bandwidth on the parasitics of the inter-stage nets.
+
+Metrics: maximum gain, gain-step accuracy, bandwidth (all
+higher-is-better after normalisation).
+"""
+
+from __future__ import annotations
+
+from ..perf import MetricSpec, PerformanceSpec
+from .base import CircuitBuilder
+
+
+def vga():
+    """Switched-degeneration two-stage variable gain amplifier."""
+    b = CircuitBuilder("VGA")
+    # stage 1: degenerated diff pair with switchable resistor string
+    b.mos("M1", "n", 2.4, 1.8, gm_ms=2.4, ro_kohm=40.0)
+    b.mos("M2", "n", 2.4, 1.8, gm_ms=2.4, ro_kohm=40.0)
+    b.mos("MT1", "n", 2.8, 1.6, gm_ms=1.1, ro_kohm=60.0)
+    b.mos("MT2", "n", 2.8, 1.6, gm_ms=1.1, ro_kohm=60.0)
+    b.res("RL1", 1.2, 2.8, r_kohm=8.0)
+    b.res("RL2", 1.2, 2.8, r_kohm=8.0)
+    for k in range(3):
+        b.res(f"RD{k}a", 1.2, 2.2, r_kohm=2.0)
+        b.res(f"RD{k}b", 1.2, 2.2, r_kohm=2.0)
+        b.switch(f"SG{k}", 1.4, 1.0, ron_kohm=0.5)
+    # stage 2: fixed-gain diff pair
+    b.mos("M3", "n", 2.2, 1.6, gm_ms=2.0, ro_kohm=42.0)
+    b.mos("M4", "n", 2.2, 1.6, gm_ms=2.0, ro_kohm=42.0)
+    b.mos("MT3", "n", 2.8, 1.6, gm_ms=1.0, ro_kohm=60.0)
+    b.res("RL3", 1.2, 2.8, r_kohm=6.0)
+    b.res("RL4", 1.2, 2.8, r_kohm=6.0)
+
+    b.net("vinp", [("M1", "g")])
+    b.net("vinn", [("M2", "g")])
+    # degeneration string between the two sources with switch taps
+    b.net("sa", [("M1", "s"), ("RD0a", "p"), ("MT1", "d")])
+    b.net("sb", [("M2", "s"), ("RD0b", "p"), ("MT2", "d")])
+    b.net("da0", [("RD0a", "n"), ("RD1a", "p"), ("SG0", "a")])
+    b.net("db0", [("RD0b", "n"), ("RD1b", "p"), ("SG0", "b")])
+    b.net("da1", [("RD1a", "n"), ("RD2a", "p"), ("SG1", "a")])
+    b.net("db1", [("RD1b", "n"), ("RD2b", "p"), ("SG1", "b")])
+    b.net("da2", [("RD2a", "n"), ("SG2", "a")])
+    b.net("db2", [("RD2b", "n"), ("SG2", "b")])
+    b.net("o1p", [("M1", "d"), ("RL1", "n"), ("M3", "g")],
+          critical=True)
+    b.net("o1n", [("M2", "d"), ("RL2", "n"), ("M4", "g")],
+          critical=True)
+    b.net("tail2", [("M3", "s"), ("M4", "s"), ("MT3", "d")])
+    b.net("voutp", [("M3", "d"), ("RL3", "n")], critical=True)
+    b.net("voutn", [("M4", "d"), ("RL4", "n")], critical=True)
+    b.net("gctl", [(f"SG{k}", "clk") for k in range(3)], weight=0.5)
+    b.net("vbias", [("MT1", "g"), ("MT2", "g"), ("MT3", "g")])
+    b.net("vdd", [("RL1", "p"), ("RL2", "p"), ("RL3", "p"), ("RL4", "p")],
+          weight=0.2)
+    b.net("vss", [("MT1", "s"), ("MT2", "s"), ("MT3", "s")], weight=0.2)
+
+    b.symmetry("stage1",
+               pairs=[("M1", "M2"), ("MT1", "MT2"), ("RL1", "RL2"),
+                      ("RD0a", "RD0b"), ("RD1a", "RD1b"),
+                      ("RD2a", "RD2b")])
+    b.symmetry("stage2",
+               pairs=[("M3", "M4"), ("RL3", "RL4")],
+               self_symmetric=["MT3"])
+    b.align("RL1", "RL2", kind="bottom")
+    b.align("RL3", "RL4", kind="bottom")
+    return b.build(
+        family="vga",
+        spec=PerformanceSpec(metrics=(
+            MetricSpec("gain_db", 27.76, "+", 1.0, "dB"),
+            MetricSpec("step_acc_pct", 98.9, "+", 1.0, "%"),
+            MetricSpec("bw_mhz", 821.8, "+", 1.0, "MHz"),
+        )),
+        model={
+            "gain0_db": 20.86,
+            "step_acc0_pct": 102.74,
+            "bw0_mhz": 767.87,
+            "load_cap_ff": 30.0,
+            "critical_nets": ("o1p", "o1n", "voutp", "voutn"),
+            "coupling": {"victims": ("M3", "M4", "RL3", "RL4"),
+                         "aggressors": ("SG0", "SG1", "SG2")},
+            "coupling_k": 11.939,
+        },
+    )

@@ -1,0 +1,136 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``list`` — the available paper testcases;
+* ``place`` — run one placement method on a testcase, print metrics,
+  optionally save the layout as JSON and/or SVG;
+* ``simulate`` — evaluate a saved (or freshly placed) layout's circuit
+  performance and FOM;
+* ``table`` — regenerate one of the paper's tables/figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .annealing import SAParams
+from .api import METHODS, place
+from .circuits import PAPER_TESTCASES, make
+from .placement import audit_constraints
+from .placement.io import load_placement, save_placement, save_svg
+from .simulate import fom, simulate
+
+
+def _cmd_list(_args) -> int:
+    for name in PAPER_TESTCASES:
+        circuit = make(name)
+        print(f"{name:8s} devices={circuit.num_devices:3d} "
+              f"nets={circuit.num_nets:3d} "
+              f"symmetry_groups="
+              f"{len(circuit.constraints.symmetry_groups)}")
+    return 0
+
+
+def _cmd_place(args) -> int:
+    circuit = make(args.circuit)
+    kwargs = {}
+    if args.method == "annealing":
+        kwargs["params"] = SAParams(iterations=args.sa_iterations,
+                                    seed=args.seed)
+    result = place(circuit, args.method, **kwargs)
+    metrics = result.metrics()
+    audit = audit_constraints(result.placement)
+    print(f"method   : {result.method}")
+    print(f"area     : {metrics['area']:.2f} um^2")
+    print(f"hpwl     : {metrics['hpwl']:.2f} um")
+    print(f"overlap  : {metrics['overlap']:.4f} um^2")
+    print(f"runtime  : {metrics['runtime_s']:.2f} s")
+    print(f"audit    : {'OK' if audit.ok else audit.violations}")
+    if args.out:
+        save_placement(result.placement, args.out)
+        print(f"saved    : {args.out}")
+    if args.svg:
+        save_svg(result.placement, args.svg)
+        print(f"svg      : {args.svg}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    circuit = make(args.circuit)
+    if args.layout:
+        placement = load_placement(circuit, args.layout)
+    else:
+        placement = place(circuit, args.method).placement
+    metrics = simulate(placement)
+    for name, value in metrics.items():
+        print(f"{name:20s} {value:10.2f}")
+    print(f"{'FOM':20s} {fom(placement):10.3f}")
+    return 0
+
+
+def _cmd_table(args) -> int:
+    from . import experiments as exp
+
+    drivers = {
+        "table1": (exp.run_table1, exp.format_table1),
+        "fig2": (exp.run_fig2, exp.format_fig2),
+        "table3": (exp.run_table3, exp.format_table3),
+        "table4": (exp.run_table4, exp.format_table4),
+        "fig5": (exp.run_fig5, exp.format_fig5),
+    }
+    if args.name not in drivers:
+        print(f"unknown experiment {args.name!r}; choose from "
+              f"{sorted(drivers)} (performance tables need trained "
+              "models; use the benchmark suite)", file=sys.stderr)
+        return 2
+    run, fmt = drivers[args.name]
+    print(fmt(run(quick=args.quick)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Analog placement study reproduction (DATE 2022)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the paper's testcases")
+
+    p_place = sub.add_parser("place", help="place one testcase")
+    p_place.add_argument("circuit", choices=PAPER_TESTCASES)
+    p_place.add_argument("--method", choices=METHODS,
+                         default="eplace-a")
+    p_place.add_argument("--sa-iterations", type=int, default=20000)
+    p_place.add_argument("--seed", type=int, default=3)
+    p_place.add_argument("--out", help="save layout JSON here")
+    p_place.add_argument("--svg", help="save layout SVG here")
+
+    p_sim = sub.add_parser("simulate",
+                           help="simulate a layout's performance")
+    p_sim.add_argument("circuit", choices=PAPER_TESTCASES)
+    p_sim.add_argument("--layout", help="layout JSON (else place fresh)")
+    p_sim.add_argument("--method", choices=METHODS, default="eplace-a")
+
+    p_table = sub.add_parser("table",
+                             help="regenerate a paper table/figure")
+    p_table.add_argument("name")
+    p_table.add_argument("--quick", action="store_true")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "place": _cmd_place,
+        "simulate": _cmd_simulate,
+        "table": _cmd_table,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

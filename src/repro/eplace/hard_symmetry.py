@@ -1,0 +1,140 @@
+"""Hard symmetry constraints in global placement via reparameterisation.
+
+The paper's Table I studies enforcing symmetry *exactly* during global
+placement (:math:`y_i = y_j`, :math:`x_i + x_j = 2 x_m`) instead of the
+soft penalty.  We realise the hard mode by optimising a reduced variable
+vector: for each vertical-axis pair only :math:`(x_a, y_a)` is free and
+the partner is mirrored through the group's (free) axis variable;
+self-symmetric devices keep only their cross coordinate.  The mapping
+from reduced to full coordinates is linear, so gradients pull back
+through its transpose.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..netlist import Axis, Circuit
+
+
+class HardSymmetryMap:
+    """Linear (re)parameterisation enforcing symmetry exactly.
+
+    Reduced vector layout (in order):
+
+    * free devices (not in any symmetry group): x then y interleaved as
+      the mapping dictates below;
+    * for each group: its axis coordinate, then for each pair the
+      representative's (along, across) coordinates, then each
+      self-symmetric device's across coordinate.
+
+    ``expand`` produces full ``(x, y)`` arrays; ``pullback`` maps a full
+    gradient onto the reduced space.
+    """
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+        index = circuit.device_index()
+        n = circuit.num_devices
+        self.n = n
+
+        in_group = set()
+        for group in circuit.constraints.symmetry_groups:
+            in_group.update(group.devices)
+        self.free_idx = np.array(
+            [i for name, i in index.items() if name not in in_group],
+            dtype=int,
+        )
+
+        # compile per-group structures
+        self.groups = []
+        size = 2 * len(self.free_idx)
+        for group in circuit.constraints.symmetry_groups:
+            pa = np.array([index[a] for a, _ in group.pairs], dtype=int)
+            pb = np.array([index[b] for _, b in group.pairs], dtype=int)
+            selfs = np.array(
+                [index[s] for s in group.self_symmetric], dtype=int
+            )
+            axis_slot = size
+            size += 1
+            pair_slots = np.arange(
+                size, size + 2 * len(pa)
+            ).reshape(-1, 2)
+            size += 2 * len(pa)
+            self_slots = np.arange(size, size + len(selfs))
+            size += len(selfs)
+            self.groups.append(
+                (pa, pb, selfs, group.axis, axis_slot, pair_slots,
+                 self_slots)
+            )
+        self.size = size
+
+    # ------------------------------------------------------------------
+    def reduce(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Project a full placement onto the reduced space.
+
+        Pairs keep their first member; the axis starts at the group's
+        least-squares axis position.
+        """
+        v = np.zeros(self.size)
+        nf = len(self.free_idx)
+        v[0:nf] = x[self.free_idx]
+        v[nf:2 * nf] = y[self.free_idx]
+        for pa, pb, selfs, axis, axis_slot, pair_slots, self_slots in (
+                self.groups):
+            along, across = (x, y) if axis is Axis.VERTICAL else (y, x)
+            mids = (along[pa] + along[pb]) / 2.0 if len(pa) else np.empty(0)
+            denom = 4.0 * len(pa) + len(selfs)
+            v[axis_slot] = (
+                4.0 * mids.sum() + along[selfs].sum()
+            ) / denom
+            for k in range(len(pa)):
+                v[pair_slots[k, 0]] = along[pa[k]]
+                v[pair_slots[k, 1]] = across[pa[k]]
+            for k in range(len(selfs)):
+                v[self_slots[k]] = across[selfs[k]]
+        return v
+
+    def expand(self, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Full symmetric ``(x, y)`` coordinates from reduced variables."""
+        x = np.zeros(self.n)
+        y = np.zeros(self.n)
+        nf = len(self.free_idx)
+        x[self.free_idx] = v[0:nf]
+        y[self.free_idx] = v[nf:2 * nf]
+        for pa, pb, selfs, axis, axis_slot, pair_slots, self_slots in (
+                self.groups):
+            along, across = (x, y) if axis is Axis.VERTICAL else (y, x)
+            axis_pos = v[axis_slot]
+            for k in range(len(pa)):
+                a_along = v[pair_slots[k, 0]]
+                a_across = v[pair_slots[k, 1]]
+                along[pa[k]] = a_along
+                along[pb[k]] = 2.0 * axis_pos - a_along
+                across[pa[k]] = a_across
+                across[pb[k]] = a_across
+            for k in range(len(selfs)):
+                along[selfs[k]] = axis_pos
+                across[selfs[k]] = v[self_slots[k]]
+        return x, y
+
+    def pullback(self, gx: np.ndarray, gy: np.ndarray) -> np.ndarray:
+        """Chain rule: gradient w.r.t. reduced variables."""
+        g = np.zeros(self.size)
+        nf = len(self.free_idx)
+        g[0:nf] = gx[self.free_idx]
+        g[nf:2 * nf] = gy[self.free_idx]
+        for pa, pb, selfs, axis, axis_slot, pair_slots, self_slots in (
+                self.groups):
+            g_along, g_across = (gx, gy) if axis is Axis.VERTICAL else (
+                gy, gx)
+            axis_grad = 0.0
+            for k in range(len(pa)):
+                g[pair_slots[k, 0]] = g_along[pa[k]] - g_along[pb[k]]
+                g[pair_slots[k, 1]] = g_across[pa[k]] + g_across[pb[k]]
+                axis_grad += 2.0 * g_along[pb[k]]
+            for k in range(len(selfs)):
+                axis_grad += g_along[selfs[k]]
+                g[self_slots[k]] = g_across[selfs[k]]
+            g[axis_slot] = axis_grad
+        return g

@@ -1,0 +1,69 @@
+"""Parameters for ePlace-A global placement."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class EPlaceParams:
+    """Tuning knobs for :class:`repro.eplace.EPlaceGlobalPlacer`.
+
+    Attributes
+    ----------
+    utilization:
+        Target chip-area utilisation :math:`\\zeta`; the placement
+        region is the square of side
+        :math:`\\sqrt{\\sum_i s_i / \\zeta}` (paper Sec. IV-B).
+    bins:
+        Density-grid resolution per axis.
+    gamma_scale:
+        WA smoothing parameter as a multiple of the density bin size;
+        annealed towards this floor as overflow falls.
+    lambda_init_ratio:
+        Initial density multiplier as a fraction of the
+        wirelength-to-density gradient-norm ratio (ePlace's
+        self-scaling initialisation).
+    lambda_mult:
+        Per-iteration multiplier on the density weight.
+    tau:
+        Symmetry penalty weight (relative to the same gradient
+        scaling).  Ignored when ``symmetry_mode='hard'``.
+    eta:
+        Area-term weight relative to the wirelength gradient scale.
+        ``eta=0`` reproduces the paper's Fig. 2 ablation.
+    align_weight, order_weight:
+        Weights for the remaining soft geometric penalties.
+    symmetry_mode:
+        ``'soft'`` (penalty, the paper's default) or ``'hard'``
+        (exact reparameterisation, Table I's comparison arm).
+    max_iters, min_iters:
+        Nesterov iteration budget.
+    overflow_stop:
+        Density-overflow threshold ending global placement.
+    seed:
+        Seed for the initial placement jitter.
+    """
+
+    utilization: float = 0.6
+    bins: int = 32
+    gamma_scale: float = 1.0
+    lambda_init_ratio: float = 0.1
+    lambda_mult: float = 1.05
+    tau: float = 4.0
+    eta: float = 0.15
+    align_weight: float = 2.0
+    order_weight: float = 2.0
+    symmetry_mode: str = "soft"
+    max_iters: int = 500
+    min_iters: int = 50
+    overflow_stop: float = 0.08
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.utilization <= 1.0:
+            raise ValueError("utilization must be in (0, 1]")
+        if self.symmetry_mode not in ("soft", "hard"):
+            raise ValueError("symmetry_mode must be 'soft' or 'hard'")
+        if self.eta < 0 or self.tau < 0:
+            raise ValueError("weights must be non-negative")

@@ -1,0 +1,116 @@
+"""Shared infrastructure for the table/figure reproduction drivers.
+
+Every driver returns plain data (lists of row dicts) plus a
+``format_*`` helper that renders the same ASCII table the paper prints.
+``quick=True`` shrinks budgets so the drivers double as integration
+tests; the benchmark harness runs them at full fidelity.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..annealing import SAParams
+from ..eplace import EPlaceParams
+from ..legalize import DetailedParams
+from ..xu_ispd19 import XuParams
+
+
+def quick_mode_default() -> bool:
+    """Honour the REPRO_QUICK environment switch."""
+    return os.environ.get("REPRO_QUICK", "") not in ("", "0", "false")
+
+
+@dataclass
+class Budgets:
+    """Per-method effort settings used across experiments."""
+
+    sa_iterations: int
+    sa_seed: int
+    gp_params: EPlaceParams
+    dp_params: DetailedParams
+    xu_params: XuParams
+    model_samples: int
+    model_epochs: int
+    model_sweep_runs: int
+    model_adversarial_rounds: int
+    perf_sa_iterations: int
+
+    @classmethod
+    def full(cls) -> "Budgets":
+        return cls(
+            sa_iterations=400_000,
+            sa_seed=3,
+            gp_params=EPlaceParams(utilization=0.8, eta=0.3),
+            dp_params=DetailedParams(),
+            xu_params=XuParams(),
+            model_samples=700,
+            model_epochs=60,
+            model_sweep_runs=16,
+            model_adversarial_rounds=2,
+            perf_sa_iterations=25_000,
+        )
+
+    @classmethod
+    def quick(cls) -> "Budgets":
+        return cls(
+            sa_iterations=4_000,
+            sa_seed=3,
+            gp_params=EPlaceParams(utilization=0.8, eta=0.3,
+                                   max_iters=150, min_iters=30, bins=16),
+            dp_params=DetailedParams(iterate_rounds=2, refine_rounds=2),
+            xu_params=XuParams(stages=5, cg_iterations=40),
+            model_samples=160,
+            model_epochs=18,
+            model_sweep_runs=3,
+            model_adversarial_rounds=0,
+            perf_sa_iterations=4_000,
+        )
+
+    @classmethod
+    def select(cls, quick: bool | None = None) -> "Budgets":
+        if quick is None:
+            quick = quick_mode_default()
+        return cls.quick() if quick else cls.full()
+
+    def sa_params(self, **overrides) -> SAParams:
+        base = dict(iterations=self.sa_iterations, seed=self.sa_seed)
+        base.update(overrides)
+        return SAParams(**base)
+
+
+def geometric_mean_ratio(rows, key_num: str, key_den: str) -> float:
+    """Average ratio (arithmetic mean of per-row ratios, as the paper's
+    'Avg. (X)' lines do)."""
+    ratios = [row[key_num] / row[key_den] for row in rows
+              if row[key_den] > 0]
+    return float(np.mean(ratios)) if ratios else float("nan")
+
+
+def format_table(headers: list[str], rows: list[list], title: str = "",
+                 precision: int = 2) -> str:
+    """Plain fixed-width table renderer."""
+    def fmt(value):
+        if isinstance(value, float):
+            return f"{value:.{precision}f}"
+        return str(value)
+
+    str_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows))
+        if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i])
+                           for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(row[i].ljust(widths[i])
+                               for i in range(len(row))))
+    return "\n".join(lines)

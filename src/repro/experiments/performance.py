@@ -1,0 +1,247 @@
+"""Drivers for the performance-driven experiments.
+
+Covers Table V (FOM across 3 methods x {conventional, perf-driven}),
+Table VI (CC-OTA detailed metrics), Table VII (area/HPWL/runtime of the
+perf-driven methods) and Fig. 6 (FOM-area trade-off sweep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..annealing import anneal_place
+from ..api import place_eplace_a, place_xu_ispd19
+from ..circuits import PAPER_TESTCASES, make
+from ..gnn import PerformanceModel
+from ..perf_driven import (
+    RefineParams,
+    place_eplace_ap,
+    place_perf_sa,
+    place_perf_xu,
+    train_model_for,
+)
+from ..simulate import fom, simulate, spec_of
+from .common import Budgets, format_table
+
+
+def train_models(
+    circuits=PAPER_TESTCASES, quick: bool | None = None,
+) -> dict[str, PerformanceModel]:
+    """One GNN performance model per design (shared by all methods)."""
+    budgets = Budgets.select(quick)
+    models = {}
+    for name in circuits:
+        model, _ = train_model_for(
+            make(name),
+            samples=budgets.model_samples,
+            epochs=budgets.model_epochs,
+            sa_sweep_runs=budgets.model_sweep_runs,
+            adversarial_rounds=budgets.model_adversarial_rounds,
+        )
+        models[name] = model
+    return models
+
+
+def run_table5(
+    models: dict[str, PerformanceModel] | None = None,
+    quick: bool | None = None,
+    circuits=PAPER_TESTCASES,
+) -> list[dict]:
+    """Table V: FOM of 3 methods x {Conv, Perf} on every design."""
+    budgets = Budgets.select(quick)
+    if models is None:
+        models = train_models(circuits, quick)
+    rows = []
+    for name in circuits:
+        model = models[name]
+        row = {"design": name}
+        row["sa_conv"] = fom(anneal_place(
+            make(name), budgets.sa_params(
+                iterations=budgets.perf_sa_iterations)).placement)
+        row["sa_perf"] = fom(place_perf_sa(
+            make(name), model,
+            budgets.sa_params(iterations=budgets.perf_sa_iterations,
+                              perf_weight=3.0)).placement)
+        row["xu_conv"] = fom(place_xu_ispd19(
+            make(name), gp_params=budgets.xu_params).placement)
+        row["xu_perf"] = fom(place_perf_xu(
+            make(name), model, gp_params=budgets.xu_params,
+            alpha=2.0).placement)
+        row["ep_conv"] = fom(place_eplace_a(
+            make(name), gp_params=budgets.gp_params,
+            dp_params=budgets.dp_params).placement)
+        row["ep_perf"] = fom(place_eplace_ap(
+            make(name), model, gp_params=budgets.gp_params,
+            alpha=2.0).placement)
+        rows.append(row)
+    return rows
+
+
+def format_table5(rows: list[dict]) -> str:
+    body = [[r["design"], r["sa_conv"], r["sa_perf"], r["xu_conv"],
+             r["xu_perf"], r["ep_conv"], r["ep_perf"]] for r in rows]
+    if rows:
+        avg = ["Avg."]
+        for key in ("sa_conv", "sa_perf", "xu_conv", "xu_perf",
+                    "ep_conv", "ep_perf"):
+            avg.append(sum(r[key] for r in rows) / len(rows))
+        body.append(avg)
+    return format_table(
+        ["Design", "SA conv", "SA perf", "Xu conv", "Xu perf*",
+         "eP-A conv", "eP-AP"],
+        body,
+        title="Table V: FOM comparison (conventional vs "
+              "performance-driven)",
+        precision=3,
+    )
+
+
+def run_table6(
+    model: PerformanceModel | None = None,
+    quick: bool | None = None,
+) -> dict:
+    """Table VI: CC-OTA detailed metrics, ePlace-A vs ePlace-AP."""
+    budgets = Budgets.select(quick)
+    if model is None:
+        model, _ = train_model_for(
+            make("CC-OTA"), samples=budgets.model_samples,
+            epochs=budgets.model_epochs)
+    conv = place_eplace_a(make("CC-OTA"), gp_params=budgets.gp_params,
+                          dp_params=budgets.dp_params)
+    perf = place_eplace_ap(make("CC-OTA"), model,
+                           gp_params=budgets.gp_params, alpha=2.0)
+    spec = spec_of(conv.placement)
+    return {
+        "spec": {m.name: m.target for m in spec.metrics},
+        "eplace_a": simulate(conv.placement),
+        "eplace_ap": simulate(perf.placement),
+        "fom_a": fom(conv.placement),
+        "fom_ap": fom(perf.placement),
+    }
+
+
+def format_table6(data: dict) -> str:
+    metrics = list(data["spec"])
+    rows = []
+    for arm in ("eplace_a", "eplace_ap"):
+        row = [arm]
+        for name in metrics:
+            value = data[arm][name]
+            spec_value = data["spec"][name]
+            pct = min(value / spec_value, 1.0) * 100
+            row.append(f"{value:.1f} ({pct:.0f}%)")
+        row.append(f"{data['fom_a' if arm == 'eplace_a' else 'fom_ap']:.2f}")
+        rows.append(row)
+    return format_table(
+        ["Method", *metrics, "FOM"],
+        rows,
+        title="Table VI: CC-OTA detailed performance "
+              f"(spec: {data['spec']})",
+    )
+
+
+def run_table7(
+    models: dict[str, PerformanceModel] | None = None,
+    quick: bool | None = None,
+    circuits=PAPER_TESTCASES,
+) -> list[dict]:
+    """Table VII: area/HPWL/runtime of the performance-driven methods."""
+    budgets = Budgets.select(quick)
+    if models is None:
+        models = train_models(circuits, quick)
+    rows = []
+    for name in circuits:
+        model = models[name]
+        sa = place_perf_sa(
+            make(name), model,
+            budgets.sa_params(iterations=budgets.perf_sa_iterations,
+                              perf_weight=3.0))
+        xu = place_perf_xu(make(name), model,
+                           gp_params=budgets.xu_params, alpha=2.0)
+        ap = place_eplace_ap(make(name), model,
+                             gp_params=budgets.gp_params, alpha=2.0)
+        row = {"design": name}
+        for key, result in (("sa", sa), ("xu", xu), ("ap", ap)):
+            metrics = result.metrics()
+            row[f"area_{key}"] = metrics["area"]
+            row[f"hpwl_{key}"] = metrics["hpwl"]
+            row[f"runtime_{key}"] = result.runtime_s
+        rows.append(row)
+    return rows
+
+
+def format_table7(rows: list[dict]) -> str:
+    from .common import geometric_mean_ratio
+
+    body = [[r["design"],
+             r["area_sa"], r["hpwl_sa"], r["runtime_sa"],
+             r["area_xu"], r["hpwl_xu"], r["runtime_xu"],
+             r["area_ap"], r["hpwl_ap"], r["runtime_ap"]]
+            for r in rows]
+    if rows:
+        avg = ["Avg.(X)"]
+        for method in ("sa", "xu"):
+            for metric in ("area", "hpwl", "runtime"):
+                avg.append(geometric_mean_ratio(
+                    rows, f"{metric}_{method}", f"{metric}_ap"))
+        avg.extend([1.0, 1.0, 1.0])
+        body.append(avg)
+    return format_table(
+        ["Design", "pSA area", "pSA hpwl", "pSA time",
+         "Perf* area", "Perf* hpwl", "Perf* time",
+         "eP-AP area", "eP-AP hpwl", "eP-AP time"],
+        body,
+        title="Table VII: performance-driven area/HPWL/runtime",
+    )
+
+
+def run_fig6(
+    model: PerformanceModel | None = None,
+    quick: bool | None = None,
+    design: str = "CM-OTA1",
+) -> list[dict]:
+    """Fig. 6: FOM-area trade-off points by varying parameters."""
+    budgets = Budgets.select(quick)
+    if model is None:
+        model, _ = train_model_for(
+            make(design), samples=budgets.model_samples,
+            epochs=budgets.model_epochs)
+    points = []
+    for alpha in (0.5, 2.0, 6.0):
+        for eta in (0.15, 0.45):
+            ap = place_eplace_ap(
+                make(design), model,
+                gp_params=replace(budgets.gp_params, eta=eta),
+                alpha=alpha,
+                refine_params=RefineParams(),
+            )
+            points.append({"method": "eplace-ap", "alpha": alpha,
+                           "eta": eta, "area": ap.metrics()["area"],
+                           "fom": fom(ap.placement)})
+    for weight in (1.0, 3.0):
+        for area_weight in (0.5, 1.0, 2.0):
+            sa = place_perf_sa(
+                make(design), model,
+                budgets.sa_params(
+                    iterations=budgets.perf_sa_iterations,
+                    perf_weight=weight, area_weight=area_weight))
+            points.append({"method": "perf-sa", "perf_weight": weight,
+                           "area_weight": area_weight,
+                           "area": sa.metrics()["area"],
+                           "fom": fom(sa.placement)})
+    for alpha in (0.5, 2.0, 6.0):
+        xu = place_perf_xu(make(design), model,
+                           gp_params=budgets.xu_params, alpha=alpha)
+        points.append({"method": "perf-xu", "alpha": alpha,
+                       "area": xu.metrics()["area"],
+                       "fom": fom(xu.placement)})
+    return points
+
+
+def format_fig6(points: list[dict]) -> str:
+    return format_table(
+        ["Method", "Area", "FOM"],
+        [[p["method"], p["area"], round(p["fom"], 3)] for p in points],
+        title="Fig. 6: FOM-area trade-off points (CM-OTA1)",
+        precision=3,
+    )

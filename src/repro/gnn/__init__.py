@@ -1,0 +1,26 @@
+"""Numpy GNN performance model: features, model, dataset, training."""
+
+from .dataset import PlacementDataset, generate_dataset
+from .features import NUM_FEATURES, POS_X_COL, POS_Y_COL, FeatureEncoder
+from .model import ForwardCache, GNNModel
+from .train import (
+    Adam,
+    PerformanceModel,
+    TrainReport,
+    train_performance_model,
+)
+
+__all__ = [
+    "Adam",
+    "FeatureEncoder",
+    "ForwardCache",
+    "GNNModel",
+    "NUM_FEATURES",
+    "POS_X_COL",
+    "POS_Y_COL",
+    "PerformanceModel",
+    "PlacementDataset",
+    "TrainReport",
+    "generate_dataset",
+    "train_performance_model",
+]

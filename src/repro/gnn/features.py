@@ -1,0 +1,344 @@
+"""Graph features for the GNN performance model (paper Sec. V-A).
+
+The circuit graph :math:`\\mathcal{G}` "covers device types, locations,
+connections, etc." [19].  Per device node we encode:
+
+* one-hot device type,
+* normalised width/height, connectivity degree, and a critical-net
+  membership flag (static),
+* normalised centre coordinates (dynamic),
+* two *interaction* features — the adjacency-weighted smooth-Manhattan
+  distance to connected neighbours, over (a) the full connectivity
+  graph and (b) the subgraph of performance-critical nets.
+
+The interaction features are the analog of [19]'s customised
+message-passing: they hand the network the quantity performance
+actually depends on (how far apart connected — especially critically
+connected — devices sit) instead of asking two GCN layers to
+rediscover geometry from raw coordinates.  Both are differentiable, and
+:meth:`FeatureEncoder.position_grad` backpropagates through them
+exactly, so ePlace-AP's :math:`\\partial \\Phi / \\partial v` includes
+their pull.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analytic.netarrays import NetArrays
+from ..analytic.wa import _wa_axis
+from ..netlist import NUM_DEVICE_TYPES, Circuit
+from ..placement import Placement
+
+#: feature-vector width per node
+NUM_FEATURES = NUM_DEVICE_TYPES + 12
+
+#: column indices of the dynamic features
+POS_X_COL = NUM_DEVICE_TYPES + 2
+POS_Y_COL = NUM_DEVICE_TYPES + 3
+NBR_DIST_COL = NUM_DEVICE_TYPES + 6
+CRIT_DIST_COL = NUM_DEVICE_TYPES + 7
+NET_SPAN_COL = NUM_DEVICE_TYPES + 8
+CRIT_SPAN_COL = NUM_DEVICE_TYPES + 9
+PAIR_SEP_COL = NUM_DEVICE_TYPES + 10
+COUPLING_COL = NUM_DEVICE_TYPES + 11
+
+#: smoothing of |d| ~ sqrt(d^2 + eps^2), in µm
+_SMOOTH_EPS = 0.05
+
+#: WA smoothing parameter for the net-span features, in µm
+_SPAN_GAMMA = 0.4
+
+
+def _clique_adjacency(circuit: Circuit, critical_only: bool) -> np.ndarray:
+    """Net-weighted clique-model adjacency (optionally critical nets)."""
+    n = circuit.num_devices
+    index = circuit.device_index()
+    adjacency = np.zeros((n, n))
+    for net in circuit.nets:
+        if critical_only and not net.critical:
+            continue
+        devs = [index[d] for d in net.devices]
+        if len(devs) < 2:
+            continue
+        weight = net.weight * 2.0 / len(devs)
+        for a_pos, a in enumerate(devs):
+            for b in devs[a_pos + 1:]:
+                adjacency[a, b] += weight
+                adjacency[b, a] += weight
+    return adjacency
+
+
+def _smooth_abs(d: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Smooth |d| and its derivative."""
+    value = np.sqrt(d * d + _SMOOTH_EPS * _SMOOTH_EPS)
+    return value, d / value
+
+
+class FeatureEncoder:
+    """Precompiled static features + adjacency for one circuit.
+
+    Position and interaction features change per placement; everything
+    else is fixed.
+    """
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+        n = circuit.num_devices
+        self.scale = float(np.sqrt(circuit.total_device_area()))
+
+        adjacency = _clique_adjacency(circuit, critical_only=False)
+        self.adj_all = adjacency
+        self.adj_crit = _clique_adjacency(circuit, critical_only=True)
+
+        static = np.zeros((n, NUM_FEATURES))
+        for i, device in enumerate(circuit.devices.values()):
+            static[i, device.dtype.index] = 1.0
+            static[i, NUM_DEVICE_TYPES] = device.width / self.scale
+            static[i, NUM_DEVICE_TYPES + 1] = device.height / self.scale
+        degree = adjacency.sum(axis=1)
+        static[:, NUM_DEVICE_TYPES + 4] = degree / max(degree.max(), 1e-9)
+        static[:, NUM_DEVICE_TYPES + 5] = (
+            self.adj_crit.sum(axis=1) > 0
+        ).astype(float)
+        self.static = static
+
+        with_self = adjacency + np.eye(n)
+        d_inv_sqrt = 1.0 / np.sqrt(with_self.sum(axis=1))
+        self.a_hat = with_self * d_inv_sqrt[:, None] * d_inv_sqrt[None, :]
+
+        # symmetry partner per device (-1 when unpaired); matched-pair
+        # distance drives offset/matching metrics in every family
+        index = circuit.device_index()
+        partner = np.full(n, -1, dtype=int)
+        for group in circuit.constraints.symmetry_groups:
+            for a, b in group.pairs:
+                partner[index[a]] = index[b]
+                partner[index[b]] = index[a]
+        self.partner = partner
+
+        from ..simulate.helpers import coupling_pairs
+
+        self.victims, self.aggressors = coupling_pairs(circuit)
+
+        model = circuit.metadata.get("model", {})
+        crit_names = set(model.get(
+            "critical_nets",
+            tuple(net.name for net in circuit.nets if net.critical),
+        ))
+        self.nets_all = NetArrays(circuit)
+        self.nets_crit = NetArrays(
+            circuit, include=lambda net: net.name in crit_names
+        )
+
+    # ------------------------------------------------------------------
+    def _interaction(
+        self, adjacency: np.ndarray, x: np.ndarray, y: np.ndarray
+    ) -> np.ndarray:
+        """Adjacency-weighted smooth-Manhattan distance per node."""
+        ax, _ = _smooth_abs(x[:, None] - x[None, :])
+        ay, _ = _smooth_abs(y[:, None] - y[None, :])
+        return (adjacency * (ax + ay)).sum(axis=1) / self.scale
+
+    def _pin_coords(
+        self, arrays: NetArrays, x, y, sign_x, sign_y
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Pin coordinates honouring per-device flip signs."""
+        dev = arrays.pin_dev
+        return (
+            x[dev] + arrays.pin_offx * sign_x[dev],
+            y[dev] + arrays.pin_offy * sign_y[dev],
+        )
+
+    def _net_span_feature(
+        self, arrays: NetArrays, x: np.ndarray, y: np.ndarray,
+        sign_x: np.ndarray, sign_y: np.ndarray,
+    ) -> np.ndarray:
+        """Per-device sum of WA-smoothed spans of its incident nets.
+
+        This is the quantity circuit performance physically tracks (a
+        differentiable stand-in for routed net length); exposing it as
+        a feature lets a small network calibrate *how much* each net
+        matters instead of having to rediscover geometry.
+        """
+        n = len(x)
+        feat = np.zeros(n)
+        if arrays.num_nets == 0:
+            return feat
+        px, py = self._pin_coords(arrays, x, y, sign_x, sign_y)
+        span_x, _ = _wa_axis(arrays, px, _SPAN_GAMMA)
+        span_y, _ = _wa_axis(arrays, py, _SPAN_GAMMA)
+        spans = span_x + span_y
+        np.add.at(feat, arrays.pin_dev, spans[arrays.pin_net])
+        return feat / self.scale
+
+    def _net_span_grad(
+        self,
+        arrays: NetArrays,
+        g_col: np.ndarray,
+        x: np.ndarray,
+        y: np.ndarray,
+        sign_x: np.ndarray,
+        sign_y: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Chain rule through the net-span feature column.
+
+        The flip signs affect pin offsets (constants), so the gradient
+        w.r.t. device centres is unchanged in form.
+        """
+        n = len(x)
+        if arrays.num_nets == 0:
+            return np.zeros(n), np.zeros(n)
+        px, py = self._pin_coords(arrays, x, y, sign_x, sign_y)
+        _, pin_gx = _wa_axis(arrays, px, _SPAN_GAMMA)
+        _, pin_gy = _wa_axis(arrays, py, _SPAN_GAMMA)
+        # cotangent of net e's span: sum of g over devices of its pins
+        m_net = arrays.segment_sum(g_col[arrays.pin_dev])
+        gx = arrays.scatter_to_devices(
+            pin_gx * m_net[arrays.pin_net], n) / self.scale
+        gy = arrays.scatter_to_devices(
+            pin_gy * m_net[arrays.pin_net], n) / self.scale
+        return gx, gy
+
+    def _signs(self, n, flip_x, flip_y):
+        sign_x = np.where(flip_x, -1.0, 1.0) if flip_x is not None \
+            else np.ones(n)
+        sign_y = np.where(flip_y, -1.0, 1.0) if flip_y is not None \
+            else np.ones(n)
+        return sign_x, sign_y
+
+    def encode_xy(
+        self, x: np.ndarray, y: np.ndarray,
+        flip_x: np.ndarray | None = None,
+        flip_y: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Node-feature matrix for centre coordinates (+optional flips).
+
+        Flips mirror pin offsets, which changes net spans — the FOM is
+        flip-sensitive, so the features must be too, or flip-heavy
+        layouts carry irreducible label noise.
+        """
+        sign_x, sign_y = self._signs(len(x), flip_x, flip_y)
+        feats = self.static.copy()
+        feats[:, POS_X_COL] = x / self.scale
+        feats[:, POS_Y_COL] = y / self.scale
+        feats[:, NBR_DIST_COL] = self._interaction(self.adj_all, x, y)
+        feats[:, CRIT_DIST_COL] = self._interaction(self.adj_crit, x, y)
+        feats[:, NET_SPAN_COL] = self._net_span_feature(
+            self.nets_all, x, y, sign_x, sign_y)
+        feats[:, CRIT_SPAN_COL] = self._net_span_feature(
+            self.nets_crit, x, y, sign_x, sign_y)
+        feats[:, PAIR_SEP_COL] = self._pair_separation(x, y)
+        feats[:, COUPLING_COL] = self._coupling_feature(x, y)
+        return feats
+
+    def _coupling_feature(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> np.ndarray:
+        """Per-device victim-aggressor proximity, 1/(1 + d^2) summed.
+
+        Victims see their total exposure to aggressors and vice versa,
+        matching the coupling term in the performance models; devices
+        in neither group read 0.
+        """
+        out = np.zeros(len(x))
+        v, a = self.victims, self.aggressors
+        if len(v) == 0 or len(a) == 0:
+            return out
+        dx = x[v][:, None] - x[a][None, :]
+        dy = y[v][:, None] - y[a][None, :]
+        prox = 1.0 / (1.0 + dx * dx + dy * dy)
+        np.add.at(out, v, prox.sum(axis=1))
+        np.add.at(out, a, prox.sum(axis=0))
+        return out
+
+    def _pair_separation(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> np.ndarray:
+        """Smooth distance to each device's symmetry partner (0 if none)."""
+        paired = self.partner >= 0
+        out = np.zeros(len(x))
+        if not paired.any():
+            return out
+        p = self.partner[paired]
+        dx = x[paired] - x[p]
+        dy = y[paired] - y[p]
+        out[paired] = np.sqrt(
+            dx * dx + dy * dy + _SMOOTH_EPS ** 2) / self.scale
+        return out
+
+    def encode(self, placement: Placement) -> np.ndarray:
+        """Node-feature matrix for a placement (flip-aware)."""
+        return self.encode_xy(placement.x, placement.y,
+                              placement.flip_x, placement.flip_y)
+
+    # ------------------------------------------------------------------
+    def position_grad(
+        self,
+        grad_features: np.ndarray,
+        x: np.ndarray,
+        y: np.ndarray,
+        flip_x: np.ndarray | None = None,
+        flip_y: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Chain-rule a feature-space gradient back to (x, y) in µm.
+
+        Includes the direct position columns and the interaction
+        columns' dependence on every coordinate.
+        """
+        gx = grad_features[:, POS_X_COL] / self.scale
+        gy = grad_features[:, POS_Y_COL] / self.scale
+        for col, adjacency in (
+            (NBR_DIST_COL, self.adj_all),
+            (CRIT_DIST_COL, self.adj_crit),
+        ):
+            g_col = grad_features[:, col]  # dPhi/d feat_k
+            _, sx = _smooth_abs(x[:, None] - x[None, :])
+            _, sy = _smooth_abs(y[:, None] - y[None, :])
+            # feat_k = sum_j adjacency[k, j] (|dx_kj| + |dy_kj|) / scale
+            # d feat_k / d x_k = sum_j a_kj sx_kj / scale
+            # d feat_k / d x_j = -a_kj sx_kj / scale
+            w = adjacency * sx
+            gx += (g_col * w.sum(axis=1)
+                   - w.T @ g_col) / self.scale
+            w = adjacency * sy
+            gy += (g_col * w.sum(axis=1)
+                   - w.T @ g_col) / self.scale
+        sign_x, sign_y = self._signs(len(x), flip_x, flip_y)
+        for col, arrays in (
+            (NET_SPAN_COL, self.nets_all),
+            (CRIT_SPAN_COL, self.nets_crit),
+        ):
+            dgx, dgy = self._net_span_grad(
+                arrays, grad_features[:, col], x, y, sign_x, sign_y)
+            gx += dgx
+            gy += dgy
+        v, a = self.victims, self.aggressors
+        if len(v) and len(a):
+            g_col = grad_features[:, COUPLING_COL]
+            dx = x[v][:, None] - x[a][None, :]
+            dy = y[v][:, None] - y[a][None, :]
+            denom = (1.0 + dx * dx + dy * dy) ** 2
+            # d prox / d x_v = -2 dx / denom ; feature appears on both
+            # the victim's and the aggressor's row
+            weight = (g_col[v][:, None] + g_col[a][None, :])
+            wx = -2.0 * dx / denom * weight
+            wy = -2.0 * dy / denom * weight
+            np.add.at(gx, v, wx.sum(axis=1))
+            np.add.at(gx, a, -wx.sum(axis=0))
+            np.add.at(gy, v, wy.sum(axis=1))
+            np.add.at(gy, a, -wy.sum(axis=0))
+
+        paired = self.partner >= 0
+        if paired.any():
+            g_col = grad_features[:, PAIR_SEP_COL]
+            p = self.partner[paired]
+            dx = x[paired] - x[p]
+            dy = y[paired] - y[p]
+            dist = np.sqrt(dx * dx + dy * dy + _SMOOTH_EPS ** 2)
+            coeff = g_col[paired] / (dist * self.scale)
+            np.add.at(gx, np.where(paired)[0], coeff * dx)
+            np.add.at(gx, p, -coeff * dx)
+            np.add.at(gy, np.where(paired)[0], coeff * dy)
+            np.add.at(gy, p, -coeff * dy)
+        return gx, gy

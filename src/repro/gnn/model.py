@@ -1,0 +1,141 @@
+"""Numpy GNN classifier with manual forward/backward passes.
+
+The paper uses a TensorFlow GNN [19] whose built-in autodiff supplies
+:math:`-\\partial \\Phi / \\partial v` to the placer.  TensorFlow is not
+available offline, so the same functional role is filled by a compact
+message-passing network implemented directly in numpy: two GCN layers
+(:math:`H' = \\mathrm{ReLU}(\\hat A H W + b)`), mean-pool readout and a
+sigmoid head producing the probability :math:`\\Phi` that the
+placement's FOM misses its threshold.  Backprop is hand-derived, which
+gives both parameter gradients (training) and the input-position
+gradient (placement), exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _relu(z: np.ndarray) -> np.ndarray:
+    return np.maximum(z, 0.0)
+
+
+@dataclass
+class ForwardCache:
+    """Intermediate activations kept for the backward passes."""
+
+    a_hat: np.ndarray
+    x: np.ndarray
+    z1: np.ndarray
+    h1: np.ndarray
+    z2: np.ndarray
+    h2: np.ndarray
+    pooled: np.ndarray
+    logit: float
+    phi: float
+
+
+class GNNModel:
+    """Two-layer GCN + mean-pool + logistic head."""
+
+    def __init__(
+        self, num_features: int, hidden: int = 16, seed: int = 0
+    ) -> None:
+        rng = np.random.default_rng(seed)
+        scale1 = np.sqrt(2.0 / num_features)
+        scale2 = np.sqrt(2.0 / hidden)
+        self.w1 = rng.normal(0.0, scale1, size=(num_features, hidden))
+        self.b1 = np.zeros(hidden)
+        self.w2 = rng.normal(0.0, scale2, size=(hidden, hidden))
+        self.b2 = np.zeros(hidden)
+        self.w3 = rng.normal(0.0, scale2, size=hidden)
+        self.b3 = 0.0
+
+    # ------------------------------------------------------------------
+    def parameters(self) -> dict[str, np.ndarray]:
+        return {
+            "w1": self.w1, "b1": self.b1,
+            "w2": self.w2, "b2": self.b2,
+            "w3": self.w3, "b3": np.array([self.b3]),
+        }
+
+    def set_parameters(self, params: dict[str, np.ndarray]) -> None:
+        self.w1 = params["w1"].copy()
+        self.b1 = params["b1"].copy()
+        self.w2 = params["w2"].copy()
+        self.b2 = params["b2"].copy()
+        self.w3 = params["w3"].copy()
+        self.b3 = float(np.asarray(params["b3"]).reshape(-1)[0])
+
+    # ------------------------------------------------------------------
+    def forward(
+        self, a_hat: np.ndarray, x: np.ndarray
+    ) -> ForwardCache:
+        """Forward pass; returns the full activation cache."""
+        z1 = a_hat @ x @ self.w1 + self.b1
+        h1 = _relu(z1)
+        z2 = a_hat @ h1 @ self.w2 + self.b2
+        h2 = _relu(z2)
+        pooled = h2.mean(axis=0)
+        logit = float(pooled @ self.w3 + self.b3)
+        phi = float(1.0 / (1.0 + np.exp(-logit)))
+        return ForwardCache(a_hat, x, z1, h1, z2, h2, pooled, logit, phi)
+
+    def predict(self, a_hat: np.ndarray, x: np.ndarray) -> float:
+        """Failure probability :math:`\\Phi` in (0, 1)."""
+        return self.forward(a_hat, x).phi
+
+    # ------------------------------------------------------------------
+    def _backward(
+        self, cache: ForwardCache, dlogit: float
+    ) -> tuple[dict[str, np.ndarray], np.ndarray]:
+        """Shared backward pass from a logit cotangent.
+
+        Returns parameter gradients and the input-feature gradient.
+        """
+        n = cache.x.shape[0]
+        d_pooled = dlogit * self.w3
+        grad_w3 = dlogit * cache.pooled
+        grad_b3 = dlogit
+
+        d_h2 = np.broadcast_to(d_pooled / n, cache.h2.shape)
+        d_z2 = d_h2 * (cache.z2 > 0.0)
+        ah1 = cache.a_hat @ cache.h1
+        grad_w2 = ah1.T @ d_z2
+        grad_b2 = d_z2.sum(axis=0)
+        d_h1 = cache.a_hat.T @ (d_z2 @ self.w2.T)
+
+        d_z1 = d_h1 * (cache.z1 > 0.0)
+        ax = cache.a_hat @ cache.x
+        grad_w1 = ax.T @ d_z1
+        grad_b1 = d_z1.sum(axis=0)
+        d_x = cache.a_hat.T @ (d_z1 @ self.w1.T)
+
+        grads = {
+            "w1": grad_w1, "b1": grad_b1,
+            "w2": grad_w2, "b2": grad_b2,
+            "w3": grad_w3, "b3": np.array([grad_b3]),
+        }
+        return grads, d_x
+
+    def input_gradient(self, cache: ForwardCache) -> np.ndarray:
+        """:math:`\\partial \\Phi / \\partial X` for a forward cache."""
+        dlogit = cache.phi * (1.0 - cache.phi)  # sigmoid'
+        _, d_x = self._backward(cache, dlogit)
+        return d_x
+
+    def loss_gradients(
+        self, cache: ForwardCache, label: float
+    ) -> tuple[float, dict[str, np.ndarray]]:
+        """Cross-entropy loss and parameter gradients for one sample.
+
+        ``label`` may be a soft target in [0, 1]; the gradient
+        ``phi - label`` covers both hard and soft cases.
+        """
+        phi = min(max(cache.phi, 1e-9), 1.0 - 1e-9)
+        loss = -(label * np.log(phi) + (1 - label) * np.log(1.0 - phi))
+        dlogit = phi - label  # d(CE)/d(logit) through the sigmoid
+        grads, _ = self._backward(cache, dlogit)
+        return float(loss), grads

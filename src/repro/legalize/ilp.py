@@ -1,0 +1,542 @@
+"""Integrated ILP legalization + detailed placement (paper Sec. IV-B).
+
+Implements formulation (4a)-(4j): a single-stage integer linear program
+that simultaneously minimises wirelength and area subject to
+
+* net bounding boxes (4b) over pin coordinates with optional device
+  flipping (4d),
+* the layout outline (4c) with variable width/height,
+* pairwise non-overlap with directions fixed from the incoming global
+  placement (4e, see :mod:`repro.legalize.pairs`),
+* hard symmetry with a free axis per group (4f),
+* alignment (4g, 4h) and ordering (4i),
+* integral device coordinates on the placement grid (4j).
+
+Solved with HiGHS branch-and-bound through :func:`scipy.optimize.milp`.
+As the paper notes, ILP does not scale to digital netlists but the
+dozens-of-devices sizes of analog circuits keep it tractable.
+
+Two refinement layers sit on top of the single solve:
+
+* :func:`iterate_directions` — re-derive the separation directions from
+  the legal solution and re-solve until a fixpoint; the GP geometry is
+  only a heuristic for the direction choice, and a legal placement is a
+  better oracle.
+* :func:`refine_directions` — large-neighbourhood rounds that *free*
+  the direction decision of a few nearby pairs (big-M disjunctions over
+  two binaries per pair) and accept improvements.  This exploits the
+  integer programming capability the paper's formulation pays for.
+
+:func:`detailed_place` chains all three and is what the end-to-end
+ePlace-A flow uses.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from ..netlist import Axis
+from ..placement import Placement, PlacerResult, summarize
+from .pairs import HORIZONTAL, _constraint_overrides, separation_constraints
+from .presym import presymmetrize
+
+#: default placement grid pitch in µm (matches the testcase generators)
+DEFAULT_GRID = 0.1
+
+
+class DetailedPlacementError(RuntimeError):
+    """Raised when the detailed-placement (M)ILP cannot be solved."""
+
+
+@dataclass
+class DetailedParams:
+    """Knobs for the ILP detailed placer.
+
+    ``mu`` is the HPWL-area weighting of objective (4a); ``zeta`` the
+    chip-area utilisation factor defining the constant pseudo-extents
+    :math:`\\tilde W = \\tilde H = \\sqrt{\\sum_i s_i / \\zeta}`.
+
+    ``displacement_weight`` > 0 adds an L1 anchor to the incoming
+    global placement (per-axis displacement variables in the
+    objective).  Performance-driven flows use it so legalization
+    preserves the geometry the performance gradient produced instead of
+    re-optimising it away; conventional flows leave it at 0.
+
+    The refinement knobs control :func:`detailed_place`:
+    ``iterate_rounds`` fixpoint re-solves, then ``refine_rounds`` LNS
+    rounds each freeing ``free_pairs`` of the ``candidate_pool`` nearest
+    unconstrained pairs.
+    """
+
+    mu: float = 0.3
+    zeta: float = 0.6
+    grid: float = DEFAULT_GRID
+    allow_flipping: bool = True
+    time_limit_s: float = 60.0
+    region_slack: float = 3.0  # upper coordinate bound as multiple of W~
+    iterate_rounds: int = 3
+    refine_rounds: int = 6
+    free_pairs: int = 10
+    candidate_pool: int = 25
+    refine_time_limit_s: float = 5.0
+    seed: int = 7
+    displacement_weight: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mu < 0:
+            raise ValueError("mu must be non-negative")
+        if not 0 < self.zeta <= 1:
+            raise ValueError("zeta must be in (0, 1]")
+        if self.grid <= 0:
+            raise ValueError("grid must be positive")
+
+
+class _Rows:
+    """Sparse constraint-row accumulator for scipy's LinearConstraint."""
+
+    def __init__(self) -> None:
+        self.data: list[float] = []
+        self.rows: list[int] = []
+        self.cols: list[int] = []
+        self.lb: list[float] = []
+        self.ub: list[float] = []
+        self.count = 0
+
+    def add(self, entries: list[tuple[int, float]],
+            lb: float, ub: float) -> None:
+        for col, val in entries:
+            self.rows.append(self.count)
+            self.cols.append(col)
+            self.data.append(val)
+        self.lb.append(lb)
+        self.ub.append(ub)
+        self.count += 1
+
+    def build(self, num_vars: int) -> LinearConstraint:
+        matrix = sparse.coo_matrix(
+            (self.data, (self.rows, self.cols)),
+            shape=(self.count, num_vars),
+        ).tocsr()
+        return LinearConstraint(matrix, self.lb, self.ub)
+
+
+def _steps(value: float, grid: float) -> int:
+    """Convert a µm quantity to integer grid steps (must be integral)."""
+    steps = value / grid
+    rounded = round(steps)
+    if abs(steps - rounded) > 1e-6:
+        raise DetailedPlacementError(
+            f"dimension {value} µm is not a multiple of the {grid} µm grid"
+        )
+    return int(rounded)
+
+
+def _solve_model(
+    placement: Placement,
+    params: DetailedParams,
+    free_keys: frozenset[tuple[int, int]] = frozenset(),
+    time_limit: float | None = None,
+) -> tuple[Placement, dict]:
+    """Build and solve one (M)ILP instance; returns placement + stats.
+
+    ``free_keys`` are device-index pairs whose separation direction and
+    order become MILP decisions (four big-M rows over two binaries);
+    every other pair keeps the direction derived from ``placement``.
+    """
+    circuit = placement.circuit
+    n = circuit.num_devices
+    grid = params.grid
+    widths_um, heights_um = circuit.sizes()
+
+    snapped = presymmetrize(placement)
+    separations = separation_constraints(snapped)
+
+    half_w = np.array([_steps(w, grid) for w in widths_um])
+    half_h = np.array([_steps(h, grid) for h in heights_um])
+    if np.any(half_w % 2) or np.any(half_h % 2):
+        odd = [circuit.device_names[i] for i in
+               np.nonzero((half_w % 2) | (half_h % 2))[0]]
+        raise DetailedPlacementError(
+            f"devices {odd} have odd grid dimensions; centre "
+            "coordinates would be half-integral"
+        )
+    half_w //= 2
+    half_h //= 2
+
+    pseudo = float(np.sqrt(circuit.total_device_area() / params.zeta))
+    pseudo_steps = pseudo / grid
+    ub_coord = int(np.ceil(params.region_slack * pseudo_steps)) + 1
+
+    # ------------------------------------------------------------------
+    # variable layout
+    # ------------------------------------------------------------------
+    num_vars = 0
+
+    def var_block(count: int) -> slice:
+        nonlocal num_vars
+        block = slice(num_vars, num_vars + count)
+        num_vars += count
+        return block
+
+    vx = var_block(n)
+    vy = var_block(n)
+    flips = params.allow_flipping
+    vfx = var_block(n) if flips else None
+    vfy = var_block(n) if flips else None
+    wire_nets = [net for net in circuit.nets if net.degree >= 2]
+    nets_lo_x = var_block(len(wire_nets))
+    nets_hi_x = var_block(len(wire_nets))
+    nets_lo_y = var_block(len(wire_nets))
+    nets_hi_y = var_block(len(wire_nets))
+    v_width = var_block(1).start
+    v_height = var_block(1).start
+    groups = circuit.constraints.symmetry_groups
+    v_axis = var_block(len(groups))  # 2x axis position per group
+    free_list = sorted(free_keys)
+    free_index = {key: t for t, key in enumerate(free_list)}
+    v_p = var_block(len(free_list))  # direction bit per freed pair
+    v_q = var_block(len(free_list))  # order bit per freed pair
+    anchored = params.displacement_weight > 0.0
+    v_dx = var_block(n) if anchored else None  # |X - X_anchor| slack
+    v_dy = var_block(n) if anchored else None
+
+    lower = np.zeros(num_vars)
+    upper = np.full(num_vars, float(ub_coord))
+    integrality = np.zeros(num_vars)
+
+    lower[vx] = half_w
+    lower[vy] = half_h
+    upper[vx] = ub_coord - half_w
+    upper[vy] = ub_coord - half_h
+    integrality[vx] = 1
+    integrality[vy] = 1
+    if flips:
+        upper[vfx] = 1.0
+        upper[vfy] = 1.0
+        integrality[vfx] = 1
+        integrality[vfy] = 1
+    lower[v_width] = float(2 * half_w.max())
+    lower[v_height] = float(2 * half_h.max())
+    integrality[v_width] = 1
+    integrality[v_height] = 1
+    upper[v_axis] = 2.0 * ub_coord
+    integrality[v_axis] = 1
+    upper[v_p] = 1.0
+    upper[v_q] = 1.0
+    integrality[v_p] = 1
+    integrality[v_q] = 1
+
+    # ------------------------------------------------------------------
+    # objective (4a)
+    # ------------------------------------------------------------------
+    c = np.zeros(num_vars)
+    for k, net in enumerate(wire_nets):
+        c[nets_hi_x.start + k] += net.weight
+        c[nets_lo_x.start + k] -= net.weight
+        c[nets_hi_y.start + k] += net.weight
+        c[nets_lo_y.start + k] -= net.weight
+    c[v_width] += params.mu * pseudo_steps / 2.0
+    c[v_height] += params.mu * pseudo_steps / 2.0
+    if anchored:
+        c[v_dx] = params.displacement_weight
+        c[v_dy] = params.displacement_weight
+
+    # ------------------------------------------------------------------
+    # constraints
+    # ------------------------------------------------------------------
+    rows = _Rows()
+    index = circuit.device_index()
+    big = np.inf
+
+    # (4b) + (4d): net bounds over (possibly flipped) pin coordinates
+    for k, net in enumerate(wire_nets):
+        for term in net.terminals:
+            i = index[term.device]
+            device = circuit.devices[term.device]
+            pin = device.pin(term.pin)
+            ox = pin.offset_x / grid
+            oy = pin.offset_y / grid
+            # pin_x = X_i - hw_i + ox + FX_i * (W_i - 2 ox)
+            const_x = -half_w[i] + ox
+            coeff_fx = (2 * half_w[i]) - 2 * ox
+            const_y = -half_h[i] + oy
+            coeff_fy = (2 * half_h[i]) - 2 * oy
+
+            lo_x = [(nets_lo_x.start + k, 1.0), (vx.start + i, -1.0)]
+            hi_x = [(vx.start + i, 1.0), (nets_hi_x.start + k, -1.0)]
+            lo_y = [(nets_lo_y.start + k, 1.0), (vy.start + i, -1.0)]
+            hi_y = [(vy.start + i, 1.0), (nets_hi_y.start + k, -1.0)]
+            if flips:
+                lo_x.append((vfx.start + i, -coeff_fx))
+                hi_x.append((vfx.start + i, coeff_fx))
+                lo_y.append((vfy.start + i, -coeff_fy))
+                hi_y.append((vfy.start + i, coeff_fy))
+            rows.add(lo_x, -big, const_x)   # lo - pin <= 0
+            rows.add(hi_x, -big, -const_x)  # pin - hi <= 0
+            rows.add(lo_y, -big, const_y)
+            rows.add(hi_y, -big, -const_y)
+
+    # (4c): outline bounds X_i + hw_i <= W, Y_i + hh_i <= H
+    for i in range(n):
+        rows.add([(vx.start + i, 1.0), (v_width, -1.0)],
+                 -big, -float(half_w[i]))
+        rows.add([(vy.start + i, 1.0), (v_height, -1.0)],
+                 -big, -float(half_h[i]))
+
+    # (4e) + (4i): pairwise separation; freed pairs get the four-way
+    # big-M disjunction over (p, q) = direction, order bits
+    big_m = float(2 * ub_coord)
+    for sep in separations:
+        key = (min(sep.low, sep.high), max(sep.low, sep.high))
+        if key in free_index:
+            t = free_index[key]
+            a, b = key
+            gap_x = float(half_w[a] + half_w[b])
+            gap_y = float(half_h[a] + half_h[b])
+            p = v_p.start + t
+            q = v_q.start + t
+            # (p,q)=(0,0): a left of b; (0,1): b left of a;
+            # (1,0): a below b;        (1,1): b below a
+            rows.add([(vx.start + a, 1.0), (vx.start + b, -1.0),
+                      (p, -big_m), (q, -big_m)], -big, -gap_x)
+            rows.add([(vx.start + b, 1.0), (vx.start + a, -1.0),
+                      (p, big_m), (q, -big_m)], -big, -gap_x + big_m)
+            rows.add([(vy.start + a, 1.0), (vy.start + b, -1.0),
+                      (p, -big_m), (q, big_m)], -big, -gap_y + big_m)
+            rows.add([(vy.start + b, 1.0), (vy.start + a, -1.0),
+                      (p, big_m), (q, big_m)], -big, -gap_y + 2 * big_m)
+            continue
+        if sep.direction == HORIZONTAL:
+            gap = float(half_w[sep.low] + half_w[sep.high])
+            rows.add([(vx.start + sep.low, 1.0),
+                      (vx.start + sep.high, -1.0)], -big, -gap)
+        else:
+            gap = float(half_h[sep.low] + half_h[sep.high])
+            rows.add([(vy.start + sep.low, 1.0),
+                      (vy.start + sep.high, -1.0)], -big, -gap)
+
+    # (4f): hard symmetry (axis var stores 2x the axis position)
+    for g, group in enumerate(groups):
+        axis_col = v_axis.start + g
+        along, across = (
+            (vx, vy) if group.axis is Axis.VERTICAL else (vy, vx)
+        )
+        for a, b in group.pairs:
+            ia, ib = index[a], index[b]
+            rows.add([(along.start + ia, 1.0), (along.start + ib, 1.0),
+                      (axis_col, -1.0)], 0.0, 0.0)
+            rows.add([(across.start + ia, 1.0),
+                      (across.start + ib, -1.0)], 0.0, 0.0)
+        for s in group.self_symmetric:
+            rows.add([(along.start + index[s], 2.0), (axis_col, -1.0)],
+                     0.0, 0.0)
+
+    # optional displacement anchor: dx_i >= |X_i - X_anchor,i|
+    if anchored:
+        ax_steps = snapped.x / grid
+        ay_steps = snapped.y / grid
+        for i in range(n):
+            rows.add([(vx.start + i, 1.0), (v_dx.start + i, -1.0)],
+                     -big, float(ax_steps[i]))
+            rows.add([(vx.start + i, -1.0), (v_dx.start + i, -1.0)],
+                     -big, -float(ax_steps[i]))
+            rows.add([(vy.start + i, 1.0), (v_dy.start + i, -1.0)],
+                     -big, float(ay_steps[i]))
+            rows.add([(vy.start + i, -1.0), (v_dy.start + i, -1.0)],
+                     -big, -float(ay_steps[i]))
+
+    # (4g)/(4h): alignment equalities
+    for pair in circuit.constraints.alignments:
+        ia, ib = index[pair.a], index[pair.b]
+        if pair.kind == "bottom":
+            delta = float(half_h[ia] - half_h[ib])
+            rows.add([(vy.start + ia, 1.0), (vy.start + ib, -1.0)],
+                     delta, delta)
+        elif pair.kind == "vcenter":
+            rows.add([(vx.start + ia, 1.0), (vx.start + ib, -1.0)],
+                     0.0, 0.0)
+        else:  # hcenter
+            rows.add([(vy.start + ia, 1.0), (vy.start + ib, -1.0)],
+                     0.0, 0.0)
+
+    # ------------------------------------------------------------------
+    # solve
+    # ------------------------------------------------------------------
+    result = milp(
+        c,
+        constraints=rows.build(num_vars),
+        bounds=Bounds(lower, upper),
+        integrality=integrality,
+        options={"time_limit": time_limit or params.time_limit_s,
+                 "mip_rel_gap": 1e-4},
+    )
+    if result.x is None:
+        raise DetailedPlacementError(
+            f"ILP detailed placement failed for {circuit.name!r}: "
+            f"{result.message}"
+        )
+
+    x = np.round(result.x[vx]) * grid
+    y = np.round(result.x[vy]) * grid
+    if flips:
+        flip_x = np.round(result.x[vfx]).astype(bool)
+        flip_y = np.round(result.x[vfy]).astype(bool)
+    else:
+        flip_x = np.zeros(n, dtype=bool)
+        flip_y = np.zeros(n, dtype=bool)
+    placed = Placement(circuit, x, y, flip_x, flip_y).normalized()
+    stats = {
+        "objective": float(result.fun),
+        "mip_status": int(result.status),
+        "num_vars": num_vars,
+        "num_rows": rows.count,
+        "freed_pairs": len(free_list),
+        "outline_w": float(result.x[v_width]) * grid,
+        "outline_h": float(result.x[v_height]) * grid,
+    }
+    return placed, stats
+
+
+def _score(placement: Placement, params: DetailedParams) -> float:
+    """The (4a) objective evaluated exactly, for accept/reject tests."""
+    m = summarize(placement)
+    pseudo = float(np.sqrt(
+        placement.circuit.total_device_area() / params.zeta
+    ))
+    xlo, ylo, xhi, yhi = placement.bounding_box()
+    return m["hpwl"] + params.mu * pseudo * (
+        (xhi - xlo) + (yhi - ylo)
+    ) / 2.0
+
+
+def ilp_detailed_placement(
+    placement: Placement,
+    params: DetailedParams | None = None,
+) -> PlacerResult:
+    """One ILP solve with directions fixed from the input placement."""
+    start = time.perf_counter()
+    params = params or DetailedParams()
+    placed, stats = _solve_model(placement, params)
+    return PlacerResult(
+        placement=placed,
+        runtime_s=time.perf_counter() - start,
+        method="ilp-dp",
+        stats=stats,
+    )
+
+
+def iterate_directions(
+    placement: Placement,
+    params: DetailedParams,
+) -> tuple[Placement, int]:
+    """Re-solve with directions re-derived from each legal solution.
+
+    Stops at a fixpoint (no score improvement) or after
+    ``params.iterate_rounds`` rounds; returns the best placement seen.
+    """
+    best = placement
+    best_score = np.inf
+    rounds = 0
+    current = placement
+    for rounds in range(1, params.iterate_rounds + 1):
+        current, _ = _solve_model(current, params)
+        score = _score(current, params)
+        if score >= best_score - 1e-9:
+            if score < best_score:
+                best, best_score = current, score
+            break
+        best, best_score = current, score
+    return best, rounds
+
+
+def _nearest_free_pairs(
+    placement: Placement,
+    pool: int,
+    count: int,
+    rng: np.random.Generator,
+) -> frozenset[tuple[int, int]]:
+    """Random ``count`` of the ``pool`` nearest unconstrained pairs."""
+    circuit = placement.circuit
+    overrides = _constraint_overrides(circuit)
+    widths, heights = circuit.sizes()
+    x, y = placement.x, placement.y
+    n = circuit.num_devices
+    scored = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            if (i, j) in overrides:
+                continue
+            gap_x = abs(x[i] - x[j]) - (widths[i] + widths[j]) / 2
+            gap_y = abs(y[i] - y[j]) - (heights[i] + heights[j]) / 2
+            scored.append((max(gap_x, gap_y), (i, j)))
+    scored.sort()
+    near = [key for _, key in scored[:pool]]
+    if not near:
+        return frozenset()
+    picks = rng.choice(len(near), size=min(count, len(near)),
+                       replace=False)
+    return frozenset(near[p] for p in picks)
+
+
+def refine_directions(
+    placement: Placement,
+    params: DetailedParams,
+) -> tuple[Placement, int]:
+    """Large-neighbourhood direction refinement.
+
+    Each round frees a random subset of the nearest pairs (big-M
+    disjunctions) and keeps the solution when the exact objective
+    improves.  Returns the best placement and the number of improving
+    rounds.
+    """
+    rng = np.random.default_rng(params.seed)
+    best = placement
+    best_score = _score(placement, params)
+    improved = 0
+    for _ in range(params.refine_rounds):
+        freed = _nearest_free_pairs(
+            presymmetrize(best), params.candidate_pool,
+            params.free_pairs, rng,
+        )
+        if not freed:
+            break
+        try:
+            candidate, _ = _solve_model(
+                best, params, free_keys=freed,
+                time_limit=params.refine_time_limit_s,
+            )
+        except DetailedPlacementError:
+            continue
+        score = _score(candidate, params)
+        if score < best_score - 1e-9:
+            best, best_score = candidate, score
+            improved += 1
+    return best, improved
+
+
+def detailed_place(
+    placement: Placement,
+    params: DetailedParams | None = None,
+) -> PlacerResult:
+    """Full ePlace-A detailed placement: solve, iterate, refine."""
+    start = time.perf_counter()
+    params = params or DetailedParams()
+    placed, stats = _solve_model(placement, params)
+    if params.iterate_rounds > 1:
+        placed, iterated = iterate_directions(placed, params)
+        stats["iterate_rounds"] = iterated
+    if params.refine_rounds > 0:
+        placed, improved = refine_directions(placed, params)
+        stats["refine_improvements"] = improved
+    stats["score"] = _score(placed, params)
+    return PlacerResult(
+        placement=placed,
+        runtime_s=time.perf_counter() - start,
+        method="ilp-dp",
+        stats=stats,
+    )

@@ -1,0 +1,223 @@
+"""Two-stage LP legalization + detailed placement (previous work [11]).
+
+Xu et al. (ISPD'19) legalise analog global placements with linear
+programming in two sequential stages:
+
+1. **area compaction** — minimise the layout outline subject to the
+   non-overlap/symmetry/alignment/ordering constraints;
+2. **wirelength refinement** — freeze the stage-1 outline and minimise
+   total net bounding-box spans inside it.
+
+Contrasts with ePlace-A's detailed placer (paper Sec. IV-B): two
+lexicographic stages instead of a single weighted objective, continuous
+LP instead of integer programming, and *no device flipping* — Table IV
+attributes ePlace-A's detailed-placement wirelength edge mainly to
+flipping.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from scipy.optimize import Bounds, milp
+
+from ..netlist import Axis
+from ..placement import Placement, PlacerResult
+from .ilp import DetailedParams, DetailedPlacementError, _Rows
+from .pairs import HORIZONTAL, separation_constraints
+from .presym import presymmetrize
+
+
+class _LPModel:
+    """Shared variable layout and constraint rows for both stages."""
+
+    def __init__(self, placement: Placement, params: DetailedParams):
+        circuit = placement.circuit
+        self.circuit = circuit
+        self.params = params
+        self.n = circuit.num_devices
+        widths, heights = circuit.sizes()
+        self.half_w = widths / 2.0
+        self.half_h = heights / 2.0
+        self.pseudo = float(
+            np.sqrt(circuit.total_device_area() / params.zeta)
+        )
+
+        snapped = presymmetrize(placement)
+        self.separations = separation_constraints(snapped)
+
+        n = self.n
+        self.wire_nets = [net for net in circuit.nets if net.degree >= 2]
+        e = len(self.wire_nets)
+        # variable layout: x, y, net lo/hi per axis, W, H, axes
+        self.vx = 0
+        self.vy = n
+        self.lo_x = 2 * n
+        self.hi_x = 2 * n + e
+        self.lo_y = 2 * n + 2 * e
+        self.hi_y = 2 * n + 3 * e
+        self.vw = 2 * n + 4 * e
+        self.vh = self.vw + 1
+        self.vaxis = self.vh + 1
+        groups = circuit.constraints.symmetry_groups
+        self.num_vars = self.vaxis + len(groups)
+
+        ub = params.region_slack * self.pseudo
+        self.lower = np.zeros(self.num_vars)
+        self.upper = np.full(self.num_vars, ub)
+        self.lower[self.vx:self.vx + n] = self.half_w
+        self.lower[self.vy:self.vy + n] = self.half_h
+        self.upper[self.vx:self.vx + n] = ub - self.half_w
+        self.upper[self.vy:self.vy + n] = ub - self.half_h
+        self.lower[self.vw] = 2 * self.half_w.max()
+        self.lower[self.vh] = 2 * self.half_h.max()
+        self.upper[self.vaxis:] = 2 * ub
+
+        self.rows = _Rows()
+        self._build_rows()
+
+    def _build_rows(self) -> None:
+        circuit = self.circuit
+        rows = self.rows
+        index = circuit.device_index()
+        big = np.inf
+
+        # net bounds (no flipping: pins at fixed offsets)
+        for k, net in enumerate(self.wire_nets):
+            for term in net.terminals:
+                i = index[term.device]
+                device = circuit.devices[term.device]
+                pin = device.pin(term.pin)
+                const_x = pin.offset_x - self.half_w[i]
+                const_y = pin.offset_y - self.half_h[i]
+                rows.add([(self.lo_x + k, 1.0), (self.vx + i, -1.0)],
+                         -big, const_x)
+                rows.add([(self.vx + i, 1.0), (self.hi_x + k, -1.0)],
+                         -big, -const_x)
+                rows.add([(self.lo_y + k, 1.0), (self.vy + i, -1.0)],
+                         -big, const_y)
+                rows.add([(self.vy + i, 1.0), (self.hi_y + k, -1.0)],
+                         -big, -const_y)
+
+        # outline
+        for i in range(self.n):
+            rows.add([(self.vx + i, 1.0), (self.vw, -1.0)],
+                     -big, -self.half_w[i])
+            rows.add([(self.vy + i, 1.0), (self.vh, -1.0)],
+                     -big, -self.half_h[i])
+
+        # separations
+        for sep in self.separations:
+            if sep.direction == HORIZONTAL:
+                gap = self.half_w[sep.low] + self.half_w[sep.high]
+                rows.add([(self.vx + sep.low, 1.0),
+                          (self.vx + sep.high, -1.0)], -big, -gap)
+            else:
+                gap = self.half_h[sep.low] + self.half_h[sep.high]
+                rows.add([(self.vy + sep.low, 1.0),
+                          (self.vy + sep.high, -1.0)], -big, -gap)
+
+        # symmetry
+        for g, group in enumerate(circuit.constraints.symmetry_groups):
+            axis_col = self.vaxis + g
+            along, across = (
+                (self.vx, self.vy) if group.axis is Axis.VERTICAL
+                else (self.vy, self.vx)
+            )
+            for a, b in group.pairs:
+                ia, ib = index[a], index[b]
+                rows.add([(along + ia, 1.0), (along + ib, 1.0),
+                          (axis_col, -1.0)], 0.0, 0.0)
+                rows.add([(across + ia, 1.0), (across + ib, -1.0)],
+                         0.0, 0.0)
+            for s in group.self_symmetric:
+                rows.add([(along + index[s], 2.0), (axis_col, -1.0)],
+                         0.0, 0.0)
+
+        # alignment
+        for pair in circuit.constraints.alignments:
+            ia, ib = index[pair.a], index[pair.b]
+            if pair.kind == "bottom":
+                delta = self.half_h[ia] - self.half_h[ib]
+                rows.add([(self.vy + ia, 1.0), (self.vy + ib, -1.0)],
+                         delta, delta)
+            elif pair.kind == "vcenter":
+                rows.add([(self.vx + ia, 1.0), (self.vx + ib, -1.0)],
+                         0.0, 0.0)
+            else:
+                rows.add([(self.vy + ia, 1.0), (self.vy + ib, -1.0)],
+                         0.0, 0.0)
+
+    # ------------------------------------------------------------------
+    def solve(self, c: np.ndarray, extra_rows=()) -> np.ndarray:
+        """Solve one LP stage; ``extra_rows`` are (entries, lb, ub)."""
+        rows = self.rows
+        saved = (list(rows.data), list(rows.rows), list(rows.cols),
+                 list(rows.lb), list(rows.ub), rows.count)
+        for entries, lb, ub in extra_rows:
+            rows.add(entries, lb, ub)
+        constraint = rows.build(self.num_vars)
+        (rows.data, rows.rows, rows.cols, rows.lb, rows.ub,
+         rows.count) = saved
+        result = milp(
+            c,
+            constraints=constraint,
+            bounds=Bounds(self.lower, self.upper),
+            integrality=np.zeros(self.num_vars),
+            options={"time_limit": self.params.time_limit_s},
+        )
+        if result.x is None:
+            raise DetailedPlacementError(
+                f"two-stage LP failed for {self.circuit.name!r}: "
+                f"{result.message}"
+            )
+        return result.x
+
+
+def lp_two_stage_detailed_placement(
+    placement: Placement,
+    params: DetailedParams | None = None,
+) -> PlacerResult:
+    """Run [11]'s area-then-wirelength LP detailed placement."""
+    start = time.perf_counter()
+    params = params or DetailedParams(allow_flipping=False)
+    model = _LPModel(placement, params)
+
+    # stage 1: area compaction — minimise (H~ W + W~ H)/2
+    c1 = np.zeros(model.num_vars)
+    c1[model.vw] = model.pseudo / 2.0
+    c1[model.vh] = model.pseudo / 2.0
+    x1 = model.solve(c1)
+    w_star, h_star = x1[model.vw], x1[model.vh]
+
+    # stage 2: wirelength inside the frozen outline
+    c2 = np.zeros(model.num_vars)
+    for k, net in enumerate(model.wire_nets):
+        c2[model.hi_x + k] += net.weight
+        c2[model.lo_x + k] -= net.weight
+        c2[model.hi_y + k] += net.weight
+        c2[model.lo_y + k] -= net.weight
+    freeze = [
+        ([(model.vw, 1.0)], 0.0, w_star + 1e-9),
+        ([(model.vh, 1.0)], 0.0, h_star + 1e-9),
+    ]
+    x2 = model.solve(c2, extra_rows=freeze)
+
+    n = model.n
+    placed = Placement(
+        placement.circuit, x2[model.vx:model.vx + n],
+        x2[model.vy:model.vy + n],
+    ).normalized()
+    runtime = time.perf_counter() - start
+    return PlacerResult(
+        placement=placed,
+        runtime_s=runtime,
+        method="lp2-dp",
+        stats={
+            "outline_w": float(w_star),
+            "outline_h": float(h_star),
+            "num_vars": model.num_vars,
+            "num_rows": model.rows.count,
+        },
+    )

@@ -1,0 +1,71 @@
+"""Snap a global placement onto exact symmetry/alignment geometry.
+
+Detailed placement enforces symmetry and alignment as *hard* equalities
+while deriving pairwise separation directions from the incoming global
+placement.  If that placement grossly violated a symmetry (e.g. both
+pair members on the same side of the axis), the derived directions could
+contradict the equalities and make the ILP infeasible.  Snapping each
+group to its least-squares axis first guarantees the direction
+derivation sees geometry consistent with every hard equality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..netlist import Axis
+from ..placement import Placement
+
+
+def presymmetrize(placement: Placement) -> Placement:
+    """Return a copy with symmetry groups and alignments snapped exact."""
+    circuit = placement.circuit
+    index = circuit.device_index()
+    x = placement.x.copy()
+    y = placement.y.copy()
+    widths, heights = circuit.sizes()
+
+    for group in circuit.constraints.symmetry_groups:
+        if group.axis is Axis.VERTICAL:
+            along, across = x, y
+        else:
+            along, across = y, x
+        pa = np.array([index[a] for a, _ in group.pairs], dtype=int)
+        pb = np.array([index[b] for _, b in group.pairs], dtype=int)
+        selfs = np.array([index[s] for s in group.self_symmetric],
+                         dtype=int)
+        mids = (along[pa] + along[pb]) / 2.0 if len(pa) else np.empty(0)
+        axis_pos = (4.0 * mids.sum() + along[selfs].sum()) / (
+            4.0 * len(pa) + len(selfs)
+        )
+        if len(pa):
+            # keep each pair's half-spacing, mirror exactly about axis
+            half = np.abs(along[pa] - along[pb]) / 2.0
+            left_is_a = along[pa] <= along[pb]
+            along[pa] = np.where(left_is_a, axis_pos - half,
+                                 axis_pos + half)
+            along[pb] = np.where(left_is_a, axis_pos + half,
+                                 axis_pos - half)
+            mean_across = (across[pa] + across[pb]) / 2.0
+            across[pa] = mean_across
+            across[pb] = mean_across
+        if len(selfs):
+            along[selfs] = axis_pos
+
+    for pair in circuit.constraints.alignments:
+        ia, ib = index[pair.a], index[pair.b]
+        if pair.kind == "bottom":
+            bottom = ((y[ia] - heights[ia] / 2)
+                      + (y[ib] - heights[ib] / 2)) / 2.0
+            y[ia] = bottom + heights[ia] / 2
+            y[ib] = bottom + heights[ib] / 2
+        elif pair.kind == "vcenter":
+            mid = (x[ia] + x[ib]) / 2.0
+            x[ia] = mid
+            x[ib] = mid
+        else:  # hcenter
+            mid = (y[ia] + y[ib]) / 2.0
+            y[ia] = mid
+            y[ib] = mid
+
+    return Placement(circuit, x, y, placement.flip_x, placement.flip_y)

@@ -1,0 +1,28 @@
+"""Circuit/netlist data model: devices, pins, nets, analog constraints."""
+
+from .circuit import Circuit, CircuitError
+from .constraints import (
+    AlignmentPair,
+    Axis,
+    ConstraintSet,
+    OrderingChain,
+    SymmetryGroup,
+)
+from .device import NUM_DEVICE_TYPES, Device, DeviceType, Pin
+from .net import Net, Terminal
+
+__all__ = [
+    "AlignmentPair",
+    "Axis",
+    "Circuit",
+    "CircuitError",
+    "ConstraintSet",
+    "Device",
+    "DeviceType",
+    "NUM_DEVICE_TYPES",
+    "Net",
+    "OrderingChain",
+    "Pin",
+    "SymmetryGroup",
+    "Terminal",
+]

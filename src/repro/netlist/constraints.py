@@ -1,0 +1,140 @@
+"""Analog placement constraints.
+
+The paper handles four classes of geometric constraints (Section IV):
+
+* **Symmetry groups** — pairs of devices mirrored about a shared vertical
+  axis plus self-symmetric devices centred on that axis (constraint 4f).
+* **Bottom alignment** — devices whose bottom edges must coincide (4g).
+* **Vertical-centre alignment** — devices sharing an x-centre line (4h).
+* **Ordering chains** — devices that must appear in a fixed left-to-right
+  (or bottom-to-top) order, used for monotone current paths (4i).
+
+All constraints reference devices by name; :meth:`repro.netlist.Circuit
+.validate` checks referential integrity.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Axis(enum.Enum):
+    """Orientation of a symmetry axis or ordering direction."""
+
+    VERTICAL = "vertical"  # axis x = const; pairs mirror left/right
+    HORIZONTAL = "horizontal"  # axis y = const; pairs mirror up/down
+
+
+@dataclass(frozen=True)
+class SymmetryGroup:
+    """A symmetry group: mirrored pairs plus self-symmetric devices.
+
+    For a ``VERTICAL`` axis at :math:`x_m`, each pair ``(a, b)`` satisfies
+    :math:`(x_a + x_b)/2 = x_m` and :math:`y_a = y_b`, and each
+    self-symmetric device ``r`` satisfies :math:`x_r = x_m` (centre
+    coordinates).  The axis position itself is a free variable chosen by
+    the placer.
+    """
+
+    name: str
+    pairs: tuple[tuple[str, str], ...] = ()
+    self_symmetric: tuple[str, ...] = ()
+    axis: Axis = Axis.VERTICAL
+
+    def __post_init__(self) -> None:
+        if not self.pairs and not self.self_symmetric:
+            raise ValueError(f"symmetry group {self.name!r} is empty")
+        for a, b in self.pairs:
+            if a == b:
+                raise ValueError(
+                    f"symmetry group {self.name!r}: pair ({a!r}, {b!r}) "
+                    "must reference two distinct devices"
+                )
+        names = list(self.devices)
+        if len(names) != len(set(names)):
+            raise ValueError(
+                f"symmetry group {self.name!r}: a device appears twice"
+            )
+
+    @property
+    def devices(self) -> tuple[str, ...]:
+        """All device names in the group (pairs flattened, then selfs)."""
+        flat = [name for pair in self.pairs for name in pair]
+        flat.extend(self.self_symmetric)
+        return tuple(flat)
+
+
+@dataclass(frozen=True)
+class AlignmentPair:
+    """Two devices aligned on an edge or centre line.
+
+    ``kind='bottom'`` equates bottom edges (paper constraint 4g);
+    ``kind='vcenter'`` equates x-centres (4h); ``kind='hcenter'`` equates
+    y-centres (the symmetric counterpart, supported for completeness).
+    """
+
+    a: str
+    b: str
+    kind: str = "bottom"
+
+    _KINDS = ("bottom", "vcenter", "hcenter")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise ValueError(
+                f"alignment kind must be one of {self._KINDS}, "
+                f"got {self.kind!r}"
+            )
+        if self.a == self.b:
+            raise ValueError("alignment pair must reference distinct devices")
+
+
+@dataclass(frozen=True)
+class OrderingChain:
+    """Devices constrained to a strict spatial order.
+
+    For ``axis=Axis.VERTICAL`` (a *horizontal* ordering, paper set
+    :math:`O^H`), consecutive devices must not overlap horizontally and
+    must appear left to right in the listed order:
+    :math:`x_j + w_j/2 \\le x_k - w_k/2`.
+    """
+
+    devices: tuple[str, ...]
+    axis: Axis = Axis.VERTICAL
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.devices) < 2:
+            raise ValueError("ordering chain needs at least two devices")
+        if len(set(self.devices)) != len(self.devices):
+            raise ValueError("ordering chain repeats a device")
+
+    @property
+    def pairs(self) -> tuple[tuple[str, str], ...]:
+        """Consecutive (left, right) pairs implied by the chain."""
+        return tuple(zip(self.devices, self.devices[1:]))
+
+
+@dataclass
+class ConstraintSet:
+    """All geometric constraints of a circuit, bundled."""
+
+    symmetry_groups: list[SymmetryGroup] = field(default_factory=list)
+    alignments: list[AlignmentPair] = field(default_factory=list)
+    orderings: list[OrderingChain] = field(default_factory=list)
+
+    def constrained_devices(self) -> set[str]:
+        """Names of all devices touched by any constraint."""
+        names: set[str] = set()
+        for group in self.symmetry_groups:
+            names.update(group.devices)
+        for pair in self.alignments:
+            names.update((pair.a, pair.b))
+        for chain in self.orderings:
+            names.update(chain.devices)
+        return names
+
+    def is_empty(self) -> bool:
+        """True when no constraint of any class is present."""
+        return not (self.symmetry_groups or self.alignments or self.orderings)

@@ -1,0 +1,131 @@
+"""Device model for analog placement.
+
+A device is a rectangular layout object (transistor, capacitor, resistor,
+pre-merged module) with named pins at fixed offsets from its lower-left
+corner.  Electrical parameters (``gm``, ``ro``, capacitances, ...) ride along
+in :attr:`Device.electrical` so the performance models in
+:mod:`repro.simulate` can evaluate placements without a separate database.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class DeviceType(enum.Enum):
+    """Coarse device classes used for GNN features and symmetry checks."""
+
+    NMOS = "nmos"
+    PMOS = "pmos"
+    CAPACITOR = "cap"
+    RESISTOR = "res"
+    INDUCTOR = "ind"
+    SWITCH = "switch"
+    MODULE = "module"
+
+    @property
+    def index(self) -> int:
+        """Stable integer index for one-hot feature encoding."""
+        return _TYPE_ORDER.index(self)
+
+
+_TYPE_ORDER = [
+    DeviceType.NMOS,
+    DeviceType.PMOS,
+    DeviceType.CAPACITOR,
+    DeviceType.RESISTOR,
+    DeviceType.INDUCTOR,
+    DeviceType.SWITCH,
+    DeviceType.MODULE,
+]
+
+NUM_DEVICE_TYPES = len(_TYPE_ORDER)
+
+
+@dataclass(frozen=True)
+class Pin:
+    """A named pin with an offset from the device's lower-left corner.
+
+    Offsets must lie inside (or on the border of) the device rectangle.
+    """
+
+    name: str
+    offset_x: float
+    offset_y: float
+
+
+@dataclass
+class Device:
+    """A rectangular placeable device.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within a circuit.
+    dtype:
+        Coarse device class; see :class:`DeviceType`.
+    width, height:
+        Rectangle dimensions in micrometres.
+    pins:
+        Pins by name.  Every device gets a default centre pin named ``"c"``
+        if none is supplied, so nets can always attach.
+    electrical:
+        Free-form electrical parameters for the performance models.
+    """
+
+    name: str
+    dtype: DeviceType
+    width: float
+    height: float
+    pins: dict[str, Pin] = field(default_factory=dict)
+    electrical: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError(
+                f"device {self.name!r}: dimensions must be positive, "
+                f"got {self.width} x {self.height}"
+            )
+        if not self.pins:
+            self.pins = {"c": Pin("c", self.width / 2.0, self.height / 2.0)}
+        for pin in self.pins.values():
+            if not (0.0 <= pin.offset_x <= self.width):
+                raise ValueError(
+                    f"device {self.name!r}: pin {pin.name!r} x-offset "
+                    f"{pin.offset_x} outside [0, {self.width}]"
+                )
+            if not (0.0 <= pin.offset_y <= self.height):
+                raise ValueError(
+                    f"device {self.name!r}: pin {pin.name!r} y-offset "
+                    f"{pin.offset_y} outside [0, {self.height}]"
+                )
+
+    @property
+    def area(self) -> float:
+        """Rectangle area in square micrometres."""
+        return self.width * self.height
+
+    def pin(self, name: str) -> Pin:
+        """Return the pin called ``name``; raise ``KeyError`` with context."""
+        try:
+            return self.pins[name]
+        except KeyError:
+            raise KeyError(
+                f"device {self.name!r} has no pin {name!r}; "
+                f"available: {sorted(self.pins)}"
+            ) from None
+
+    def pin_offset(
+        self, pin_name: str, flip_x: bool = False, flip_y: bool = False
+    ) -> tuple[float, float]:
+        """Pin offset from the lower-left corner, honouring flips.
+
+        Horizontal flipping mirrors the offset about the vertical centre
+        line (``w - ox``), matching constraint (4d) of the paper; vertical
+        flipping mirrors about the horizontal centre line.
+        """
+        pin = self.pin(pin_name)
+        ox = self.width - pin.offset_x if flip_x else pin.offset_x
+        oy = self.height - pin.offset_y if flip_y else pin.offset_y
+        return ox, oy

@@ -1,0 +1,94 @@
+"""Net model: a hyperedge over device pins.
+
+Nets carry a ``weight`` (wirelength emphasis) and a ``critical`` flag that
+the performance models use to identify signal paths whose parasitics matter
+most (e.g. the OTA output node).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Terminal:
+    """One endpoint of a net: a (device, pin) pair."""
+
+    device: str
+    pin: str = "c"
+
+
+class Net:
+    """A hyperedge connecting two or more device pins.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within a circuit.
+    terminals:
+        Iterable of :class:`Terminal`, ``(device, pin)`` tuples, or bare
+        device-name strings (which attach to that device's ``"c"`` pin).
+        Single-terminal nets are permitted (dangling I/O) but contribute
+        zero wirelength.
+    weight:
+        Multiplier applied to this net's HPWL in every objective.
+    critical:
+        Marks performance-critical nets for the parasitic-aware models.
+    """
+
+    __slots__ = ("name", "terminals", "weight", "critical")
+
+    def __init__(
+        self,
+        name: str,
+        terminals,
+        weight: float = 1.0,
+        critical: bool = False,
+    ) -> None:
+        parsed: list[Terminal] = []
+        for term in terminals:
+            if isinstance(term, Terminal):
+                parsed.append(term)
+            elif isinstance(term, str):
+                parsed.append(Terminal(term))
+            else:
+                device, pin = term
+                parsed.append(Terminal(device, pin))
+        if weight <= 0:
+            raise ValueError(f"net {name!r}: weight must be positive")
+        self.name = name
+        self.terminals = tuple(parsed)
+        self.weight = float(weight)
+        self.critical = bool(critical)
+
+    @property
+    def degree(self) -> int:
+        """Number of terminals."""
+        return len(self.terminals)
+
+    @property
+    def devices(self) -> tuple[str, ...]:
+        """Names of the devices touched by this net (with repeats removed)."""
+        seen: dict[str, None] = {}
+        for term in self.terminals:
+            seen.setdefault(term.device, None)
+        return tuple(seen)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Net):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.terminals == other.terminals
+            and self.weight == other.weight
+            and self.critical == other.critical
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.terminals))
+
+    def __repr__(self) -> str:
+        return (
+            f"Net({self.name!r}, degree={self.degree}, "
+            f"weight={self.weight}, critical={self.critical})"
+        )

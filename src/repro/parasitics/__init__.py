@@ -1,0 +1,26 @@
+"""Routing + extraction substitute: Steiner trees and lumped RC."""
+
+from .extract import (
+    C_PER_PIN,
+    C_PER_UM,
+    NetParasitics,
+    R_PER_UM,
+    critical_length,
+    extract,
+    extract_net,
+    mismatch_distance,
+)
+from .steiner import SteinerTree, steiner_tree
+
+__all__ = [
+    "C_PER_PIN",
+    "C_PER_UM",
+    "NetParasitics",
+    "R_PER_UM",
+    "SteinerTree",
+    "critical_length",
+    "extract",
+    "extract_net",
+    "mismatch_distance",
+    "steiner_tree",
+]

@@ -1,0 +1,107 @@
+"""Layout parasitic extraction from routed Steiner trees.
+
+Substitutes the paper's extraction + GF12 PDK step: per-µm wire
+resistance/capacitance constants in the range of a lower-metal 12nm
+stack, plus per-pin loading.  The absolute values matter less than the
+*monotone* mapping from placement geometry to net RC that drives every
+performance experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..placement import Placement
+from .steiner import SteinerTree, steiner_tree
+
+#: wire resistance per micrometre (ohm/µm), M2-ish 12nm value
+R_PER_UM = 40.0
+#: wire capacitance per micrometre (fF/µm)
+C_PER_UM = 0.20
+#: capacitance per connected pin (fF)
+C_PER_PIN = 0.08
+
+
+@dataclass(frozen=True)
+class NetParasitics:
+    """Lumped RC of one routed net."""
+
+    net: str
+    length_um: float
+    resistance_ohm: float
+    capacitance_ff: float
+    tree: SteinerTree
+
+    @property
+    def elmore_ps(self) -> float:
+        """Crude lumped-RC Elmore delay proxy (R*C/2) in picoseconds.
+
+        ohm * fF = 1e-15 * ohm * F = 1e-15 s = 1e-3 ps.
+        """
+        return 0.5 * self.resistance_ohm * self.capacitance_ff * 1e-3
+
+
+def extract_net(placement: Placement, net) -> NetParasitics:
+    """Route one net and lump its parasitics."""
+    points = placement.net_pin_positions(net)
+    tree = steiner_tree(points)
+    length = tree.length
+    return NetParasitics(
+        net=net.name,
+        length_um=length,
+        resistance_ohm=R_PER_UM * length,
+        capacitance_ff=C_PER_UM * length + C_PER_PIN * net.degree,
+        tree=tree,
+    )
+
+
+def extract(placement: Placement) -> dict[str, NetParasitics]:
+    """Route and extract every net of a placement."""
+    out = {}
+    for net in placement.circuit.nets:
+        if net.degree < 1:
+            continue
+        out[net.name] = extract_net(placement, net)
+    return out
+
+
+def critical_length(placement: Placement,
+                    critical_nets=None) -> float:
+    """Total routed length over the circuit's critical nets.
+
+    ``critical_nets`` defaults to the nets flagged ``critical=True``;
+    the performance models use this as their primary layout variable.
+    """
+    circuit = placement.circuit
+    if critical_nets is None:
+        names = {net.name for net in circuit.nets if net.critical}
+    else:
+        names = set(critical_nets)
+    total = 0.0
+    for net in circuit.nets:
+        if net.name in names and net.degree >= 2:
+            total += steiner_tree(placement.net_pin_positions(net)).length
+    return total
+
+
+def mismatch_distance(placement: Placement) -> float:
+    """Aggregate asymmetry seen by matched pairs, in µm.
+
+    Sums, over every symmetry pair, the deviation of the pair's centre
+    distance pattern from perfect mirroring (post-detailed placements
+    give 0).  Performance models translate this into offset/mismatch
+    degradation for soft-symmetry (global-only) placements.
+    """
+    circuit = placement.circuit
+    index = circuit.device_index()
+    from ..placement.audit import _symmetry_residuals
+
+    total = 0.0
+    for group in circuit.constraints.symmetry_groups:
+        residuals = _symmetry_residuals(
+            group, index, placement.x, placement.y
+        )
+        total += float(np.sum([value for _, value in residuals]))
+    return total

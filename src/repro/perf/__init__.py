@@ -1,0 +1,15 @@
+"""Performance specifications, metric normalisation and FOM (paper Sec. V-B)."""
+
+from .spec import (
+    HIGHER_IS_BETTER,
+    LOWER_IS_BETTER,
+    MetricSpec,
+    PerformanceSpec,
+)
+
+__all__ = [
+    "HIGHER_IS_BETTER",
+    "LOWER_IS_BETTER",
+    "MetricSpec",
+    "PerformanceSpec",
+]

@@ -1,0 +1,105 @@
+"""Performance specifications and the FOM composite metric (paper Sec. V-B).
+
+Each circuit publishes a set of metrics :math:`z_1..z_M` with
+specifications :math:`\\psi_i`.  Metrics in :math:`\\Pi^+` (gain,
+bandwidth, ...) should exceed their spec; metrics in :math:`\\Pi^-`
+(delay, offset, ...) should stay below it.  Each metric is normalised to
+:math:`\\tilde z_i \\in [0, 1]` by eq. (6) and combined into the Figure of
+Merit :math:`FOM = \\sum_i \\beta_i \\tilde z_i` with
+:math:`\\sum \\beta_i = 1`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+HIGHER_IS_BETTER = "+"
+LOWER_IS_BETTER = "-"
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One performance metric's specification.
+
+    ``sense`` is ``"+"`` for metrics preferred above the spec
+    (:math:`\\Pi^+`) and ``"-"`` for metrics preferred below it
+    (:math:`\\Pi^-`).  ``weight`` is the raw :math:`\\beta_i`; the
+    containing :class:`PerformanceSpec` normalises weights to sum to 1.
+    """
+
+    name: str
+    target: float
+    sense: str = HIGHER_IS_BETTER
+    weight: float = 1.0
+    unit: str = ""
+
+    def __post_init__(self) -> None:
+        if self.sense not in (HIGHER_IS_BETTER, LOWER_IS_BETTER):
+            raise ValueError(f"sense must be '+' or '-', got {self.sense!r}")
+        if self.target <= 0:
+            raise ValueError(
+                f"metric {self.name!r}: spec target must be positive "
+                "(eq. 6 divides by it)"
+            )
+        if self.weight < 0:
+            raise ValueError(f"metric {self.name!r}: weight must be >= 0")
+
+    def normalize(self, value: float) -> float:
+        """Eq. (6): map a raw metric value to [0, 1], 1 meaning spec met."""
+        if self.sense == HIGHER_IS_BETTER:
+            if value <= 0.0:
+                return 0.0
+            return min(value / self.target, 1.0)
+        # lower-is-better: psi/z, capped at 1
+        if value <= 0.0:
+            return 1.0
+        return min(self.target / value, 1.0)
+
+
+@dataclass(frozen=True)
+class PerformanceSpec:
+    """A circuit's full specification: metrics plus FOM weighting."""
+
+    metrics: tuple[MetricSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.metrics:
+            raise ValueError("performance spec needs at least one metric")
+        names = [m.name for m in self.metrics]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate metric names in spec: {names}")
+        if sum(m.weight for m in self.metrics) <= 0:
+            raise ValueError("at least one metric must have positive weight")
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(m.name for m in self.metrics)
+
+    def weights(self) -> dict[str, float]:
+        """Normalised :math:`\\beta_i` summing to 1."""
+        total = sum(m.weight for m in self.metrics)
+        return {m.name: m.weight / total for m in self.metrics}
+
+    def normalize(self, values: dict[str, float]) -> dict[str, float]:
+        """Per-metric :math:`\\tilde z_i` for a raw measurement dict."""
+        missing = set(self.names) - set(values)
+        if missing:
+            raise KeyError(f"measurement missing metrics: {sorted(missing)}")
+        return {m.name: m.normalize(values[m.name]) for m in self.metrics}
+
+    def fom(self, values: dict[str, float]) -> float:
+        """Figure of Merit in [0, 1] for a raw measurement dict."""
+        normalized = self.normalize(values)
+        weights = self.weights()
+        return sum(weights[k] * normalized[k] for k in normalized)
+
+    def satisfied(self, values: dict[str, float]) -> dict[str, bool]:
+        """Per-metric pass/fail against the raw specification."""
+        out = {}
+        for m in self.metrics:
+            if m.sense == HIGHER_IS_BETTER:
+                out[m.name] = values[m.name] >= m.target
+            else:
+                out[m.name] = values[m.name] <= m.target
+        return out

@@ -1,0 +1,27 @@
+"""Performance-driven placement: ePlace-AP, Perf* [11], perf-SA [19]."""
+
+from .eplace_ap import EPlaceAPGlobalPlacer, eplace_ap_global
+from .flows import (
+    PERF_METHODS,
+    place_eplace_ap,
+    place_perf_sa,
+    place_perf_xu,
+    place_performance_driven,
+    train_model_for,
+)
+from .perf_xu import XuPerfGlobalPlacer
+from .refine import RefineParams, phi_refine
+
+__all__ = [
+    "EPlaceAPGlobalPlacer",
+    "PERF_METHODS",
+    "RefineParams",
+    "XuPerfGlobalPlacer",
+    "eplace_ap_global",
+    "place_eplace_ap",
+    "place_perf_sa",
+    "place_perf_xu",
+    "phi_refine",
+    "place_performance_driven",
+    "train_model_for",
+]

@@ -1,0 +1,44 @@
+"""Placement containers, exact metrics and constraint audits."""
+
+from .audit import ConstraintAudit, audit_constraints
+from .metrics import (
+    bounding_area,
+    hpwl,
+    net_hpwl,
+    overlapping_pairs,
+    pair_overlap,
+    summarize,
+    total_overlap,
+    utilization,
+)
+from .io import (
+    load_placement,
+    placement_from_dict,
+    placement_to_dict,
+    placement_to_svg,
+    save_placement,
+    save_svg,
+)
+from .placement import Placement
+from .result import PlacerResult
+
+__all__ = [
+    "ConstraintAudit",
+    "PlacerResult",
+    "Placement",
+    "audit_constraints",
+    "bounding_area",
+    "hpwl",
+    "load_placement",
+    "placement_from_dict",
+    "placement_to_dict",
+    "placement_to_svg",
+    "save_placement",
+    "save_svg",
+    "net_hpwl",
+    "overlapping_pairs",
+    "pair_overlap",
+    "summarize",
+    "total_overlap",
+    "utilization",
+]

@@ -1,0 +1,181 @@
+"""Placement persistence and export.
+
+JSON round-tripping for placements (coordinates + flips, keyed by
+device name so files survive netlist reordering) and a dependency-free
+SVG renderer for visual inspection of layouts, symmetry axes and
+critical nets.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from ..netlist import Axis, Circuit
+from .placement import Placement
+
+
+def placement_to_dict(placement: Placement) -> dict:
+    """JSON-serialisable representation of a placement."""
+    names = placement.circuit.device_names
+    return {
+        "circuit": placement.circuit.name,
+        "devices": {
+            name: {
+                "x": float(placement.x[i]),
+                "y": float(placement.y[i]),
+                "flip_x": bool(placement.flip_x[i]),
+                "flip_y": bool(placement.flip_y[i]),
+            }
+            for i, name in enumerate(names)
+        },
+    }
+
+
+def placement_from_dict(circuit: Circuit, data: dict) -> Placement:
+    """Rebuild a placement; validates circuit name and device cover."""
+    if data.get("circuit") != circuit.name:
+        raise ValueError(
+            f"placement file is for circuit {data.get('circuit')!r}, "
+            f"not {circuit.name!r}"
+        )
+    devices = data["devices"]
+    missing = set(circuit.device_names) - set(devices)
+    if missing:
+        raise ValueError(f"placement file missing devices: "
+                         f"{sorted(missing)}")
+    n = circuit.num_devices
+    x = np.zeros(n)
+    y = np.zeros(n)
+    fx = np.zeros(n, dtype=bool)
+    fy = np.zeros(n, dtype=bool)
+    for i, name in enumerate(circuit.device_names):
+        entry = devices[name]
+        x[i] = entry["x"]
+        y[i] = entry["y"]
+        fx[i] = entry.get("flip_x", False)
+        fy[i] = entry.get("flip_y", False)
+    return Placement(circuit, x, y, fx, fy)
+
+
+def save_placement(placement: Placement, path) -> None:
+    """Write a placement to a JSON file."""
+    pathlib.Path(path).write_text(
+        json.dumps(placement_to_dict(placement), indent=2))
+
+
+def load_placement(circuit: Circuit, path) -> Placement:
+    """Read a placement from a JSON file for the given circuit."""
+    return placement_from_dict(
+        circuit, json.loads(pathlib.Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# SVG rendering
+# ----------------------------------------------------------------------
+
+_FAMILY_FILL = {
+    "nmos": "#7fb3d5",
+    "pmos": "#f5b7b1",
+    "cap": "#a9dfbf",
+    "res": "#f9e79b",
+    "ind": "#d7bde2",
+    "switch": "#aeb6bf",
+    "module": "#e5e7e9",
+}
+
+
+def placement_to_svg(
+    placement: Placement,
+    scale: float = 40.0,
+    show_critical_nets: bool = True,
+    show_symmetry_axes: bool = True,
+) -> str:
+    """Render a placement as an SVG string (no external dependencies).
+
+    Devices are coloured by type and labelled; critical nets are drawn
+    as pin-to-pin polylines; each symmetry group's fitted axis is drawn
+    dashed.
+    """
+    circuit = placement.circuit
+    norm = placement.normalized()
+    xlo, ylo, xhi, yhi = norm.bounding_box()
+    margin = 0.06 * max(xhi - xlo, yhi - ylo, 1.0)
+    width = (xhi - xlo + 2 * margin) * scale
+    height = (yhi - ylo + 2 * margin) * scale
+
+    def sx(v: float) -> float:
+        return (v - xlo + margin) * scale
+
+    def sy(v: float) -> float:
+        # SVG y grows downward
+        return height - (v - ylo + margin) * scale
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" '
+        f'width="{width:.0f}" height="{height:.0f}" '
+        f'viewBox="0 0 {width:.0f} {height:.0f}">',
+        f'<rect width="{width:.0f}" height="{height:.0f}" '
+        f'fill="white"/>',
+    ]
+
+    rects = norm.rectangles()
+    font = max(scale * 0.22, 6.0)
+    for i, name in enumerate(circuit.device_names):
+        device = circuit.devices[name]
+        fill = _FAMILY_FILL.get(device.dtype.value, "#dddddd")
+        rxlo, rylo, rxhi, ryhi = rects[i]
+        parts.append(
+            f'<rect x="{sx(rxlo):.1f}" y="{sy(ryhi):.1f}" '
+            f'width="{(rxhi - rxlo) * scale:.1f}" '
+            f'height="{(ryhi - rylo) * scale:.1f}" fill="{fill}" '
+            f'stroke="#555" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{sx(norm.x[i]):.1f}" y="{sy(norm.y[i]):.1f}" '
+            f'font-size="{font:.1f}" text-anchor="middle" '
+            f'dominant-baseline="middle" fill="#222">{name}</text>'
+        )
+
+    if show_critical_nets:
+        for net in circuit.nets:
+            if not net.critical or net.degree < 2:
+                continue
+            pts = norm.net_pin_positions(net)
+            path = " ".join(
+                f"{sx(px):.1f},{sy(py):.1f}" for px, py in pts)
+            parts.append(
+                f'<polyline points="{path}" fill="none" '
+                f'stroke="#c0392b" stroke-width="1.5" opacity="0.8"/>'
+            )
+
+    if show_symmetry_axes:
+        index = circuit.device_index()
+        for group in circuit.constraints.symmetry_groups:
+            coords = norm.x if group.axis is Axis.VERTICAL else norm.y
+            members = [index[d] for d in group.devices]
+            pairs = [(index[a], index[b]) for a, b in group.pairs]
+            implied = [
+                (coords[a] + coords[b]) / 2.0 for a, b in pairs
+            ] + [coords[index[s]] for s in group.self_symmetric]
+            axis_pos = float(np.mean(implied))
+            if group.axis is Axis.VERTICAL:
+                line = (f'x1="{sx(axis_pos):.1f}" y1="0" '
+                        f'x2="{sx(axis_pos):.1f}" y2="{height:.0f}"')
+            else:
+                line = (f'x1="0" y1="{sy(axis_pos):.1f}" '
+                        f'x2="{width:.0f}" y2="{sy(axis_pos):.1f}"')
+            parts.append(
+                f'<line {line} stroke="#2471a3" stroke-width="1" '
+                f'stroke-dasharray="6,4" opacity="0.7"/>'
+            )
+            del members
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(placement: Placement, path, **kwargs) -> None:
+    """Write the SVG rendering of a placement to a file."""
+    pathlib.Path(path).write_text(placement_to_svg(placement, **kwargs))

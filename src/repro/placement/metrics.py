@@ -1,0 +1,115 @@
+"""Exact placement quality metrics: HPWL, area, overlap.
+
+These are the *evaluation* metrics (non-smoothed); the differentiable
+surrogates used inside the analytical placers live in
+:mod:`repro.analytic`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .placement import Placement
+
+
+def net_hpwl(placement: Placement, net) -> float:
+    """Half-perimeter wirelength of one net (unweighted), in µm."""
+    if net.degree < 2:
+        return 0.0
+    pts = placement.net_pin_positions(net)
+    return float(
+        (pts[:, 0].max() - pts[:, 0].min())
+        + (pts[:, 1].max() - pts[:, 1].min())
+    )
+
+
+def hpwl(placement: Placement, weighted: bool = True) -> float:
+    """Total half-perimeter wirelength over all nets, in µm.
+
+    With ``weighted=True`` each net's HPWL is scaled by its weight, which
+    matches the objective the placers optimise; the paper's tables report
+    unit-weight HPWL, which our testcases use anyway.
+    """
+    total = 0.0
+    for net in placement.circuit.nets:
+        scale = net.weight if weighted else 1.0
+        total += scale * net_hpwl(placement, net)
+    return total
+
+
+def bounding_area(placement: Placement) -> float:
+    """Area of the bounding box of all device outlines, in µm²."""
+    xlo, ylo, xhi, yhi = placement.bounding_box()
+    return (xhi - xlo) * (yhi - ylo)
+
+
+def pair_overlap(rect_a: np.ndarray, rect_b: np.ndarray) -> float:
+    """Overlap area of two ``(xlo, ylo, xhi, yhi)`` rectangles."""
+    dx = min(rect_a[2], rect_b[2]) - max(rect_a[0], rect_b[0])
+    dy = min(rect_a[3], rect_b[3]) - max(rect_a[1], rect_b[1])
+    if dx <= 0.0 or dy <= 0.0:
+        return 0.0
+    return float(dx * dy)
+
+
+def total_overlap(placement: Placement, tolerance: float = 1e-9) -> float:
+    """Sum of pairwise overlap areas among all devices, in µm².
+
+    Overlaps at or below ``tolerance`` in either axis are treated as
+    touching (zero overlap), so abutted legalised layouts report 0.
+    """
+    rects = placement.rectangles()
+    n = len(rects)
+    total = 0.0
+    for i in range(n):
+        # vectorised sweep over j > i
+        dx = (
+            np.minimum(rects[i, 2], rects[i + 1:, 2])
+            - np.maximum(rects[i, 0], rects[i + 1:, 0])
+        )
+        dy = (
+            np.minimum(rects[i, 3], rects[i + 1:, 3])
+            - np.maximum(rects[i, 1], rects[i + 1:, 1])
+        )
+        mask = (dx > tolerance) & (dy > tolerance)
+        total += float((dx[mask] * dy[mask]).sum())
+    return total
+
+
+def overlapping_pairs(
+    placement: Placement, tolerance: float = 1e-9
+) -> list[tuple[int, int, float, float]]:
+    """All overlapping device pairs as ``(i, j, dx, dy)`` penetration depths.
+
+    ``dx``/``dy`` are the widths of the overlap region along x and y, the
+    quantities the ILP detailed placer inspects to choose a separation
+    direction (paper Fig. 4a).
+    """
+    rects = placement.rectangles()
+    n = len(rects)
+    pairs = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            dx = min(rects[i, 2], rects[j, 2]) - max(rects[i, 0], rects[j, 0])
+            dy = min(rects[i, 3], rects[j, 3]) - max(rects[i, 1], rects[j, 1])
+            if dx > tolerance and dy > tolerance:
+                pairs.append((i, j, float(dx), float(dy)))
+    return pairs
+
+
+def utilization(placement: Placement) -> float:
+    """Total device area divided by bounding-box area (0..1 for legal)."""
+    area = bounding_area(placement)
+    if area <= 0:
+        return float("inf")
+    return placement.circuit.total_device_area() / area
+
+
+def summarize(placement: Placement) -> dict[str, float]:
+    """One-call metric bundle used by the experiment harness."""
+    return {
+        "hpwl": hpwl(placement),
+        "area": bounding_area(placement),
+        "overlap": total_overlap(placement),
+        "utilization": utilization(placement),
+    }

@@ -1,0 +1,129 @@
+"""Placement container: device centre coordinates plus flip states."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..netlist import Circuit
+
+
+@dataclass
+class Placement:
+    """Positions for every device of a circuit.
+
+    ``x``/``y`` hold device *centre* coordinates in micrometres, indexed by
+    the circuit's canonical device order.  ``flip_x``/``flip_y`` record
+    mirroring about the device's own vertical/horizontal centre line, which
+    moves pins but not the rectangle outline.
+    """
+
+    circuit: Circuit
+    x: np.ndarray
+    y: np.ndarray
+    flip_x: np.ndarray = field(default=None)  # type: ignore[assignment]
+    flip_y: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        n = self.circuit.num_devices
+        self.x = np.asarray(self.x, dtype=float).copy()
+        self.y = np.asarray(self.y, dtype=float).copy()
+        if self.x.shape != (n,) or self.y.shape != (n,):
+            raise ValueError(
+                f"placement for {self.circuit.name!r} needs {n} coordinates, "
+                f"got x{self.x.shape} y{self.y.shape}"
+            )
+        if self.flip_x is None:
+            self.flip_x = np.zeros(n, dtype=bool)
+        else:
+            self.flip_x = np.asarray(self.flip_x, dtype=bool).copy()
+        if self.flip_y is None:
+            self.flip_y = np.zeros(n, dtype=bool)
+        else:
+            self.flip_y = np.asarray(self.flip_y, dtype=bool).copy()
+        if self.flip_x.shape != (n,) or self.flip_y.shape != (n,):
+            raise ValueError("flip vectors must have one entry per device")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def zeros(cls, circuit: Circuit) -> "Placement":
+        """All devices at the origin (useful as an optimisation start)."""
+        n = circuit.num_devices
+        return cls(circuit, np.zeros(n), np.zeros(n))
+
+    @classmethod
+    def from_mapping(
+        cls, circuit: Circuit, positions: dict[str, tuple[float, float]]
+    ) -> "Placement":
+        """Build from a ``{device_name: (x, y)}`` mapping of centres."""
+        names = circuit.device_names
+        missing = set(names) - set(positions)
+        if missing:
+            raise ValueError(f"positions missing for {sorted(missing)}")
+        x = np.array([positions[n][0] for n in names], dtype=float)
+        y = np.array([positions[n][1] for n in names], dtype=float)
+        return cls(circuit, x, y)
+
+    def copy(self) -> "Placement":
+        return Placement(
+            self.circuit, self.x, self.y, self.flip_x, self.flip_y
+        )
+
+    # ------------------------------------------------------------------
+    def position_of(self, device_name: str) -> tuple[float, float]:
+        """Centre coordinates of one device."""
+        i = self.circuit.index_of(device_name)
+        return float(self.x[i]), float(self.y[i])
+
+    def rectangles(self) -> np.ndarray:
+        """``(n, 4)`` array of ``(xlo, ylo, xhi, yhi)`` device outlines."""
+        w, h = self.circuit.sizes()
+        return np.column_stack(
+            (self.x - w / 2, self.y - h / 2, self.x + w / 2, self.y + h / 2)
+        )
+
+    def pin_position(self, device_name: str, pin_name: str) -> tuple[float, float]:
+        """Absolute coordinates of a pin, honouring the device's flips."""
+        i = self.circuit.index_of(device_name)
+        device = self.circuit.devices[device_name]
+        ox, oy = device.pin_offset(
+            pin_name, flip_x=bool(self.flip_x[i]), flip_y=bool(self.flip_y[i])
+        )
+        xlo = self.x[i] - device.width / 2.0
+        ylo = self.y[i] - device.height / 2.0
+        return float(xlo + ox), float(ylo + oy)
+
+    def net_pin_positions(self, net) -> np.ndarray:
+        """``(degree, 2)`` array of absolute pin coordinates for a net."""
+        pts = [self.pin_position(t.device, t.pin) for t in net.terminals]
+        return np.asarray(pts, dtype=float)
+
+    def bounding_box(self) -> tuple[float, float, float, float]:
+        """``(xlo, ylo, xhi, yhi)`` of the union of device outlines."""
+        rects = self.rectangles()
+        return (
+            float(rects[:, 0].min()),
+            float(rects[:, 1].min()),
+            float(rects[:, 2].max()),
+            float(rects[:, 3].max()),
+        )
+
+    def translate(self, dx: float, dy: float) -> "Placement":
+        """Return a copy shifted by ``(dx, dy)``."""
+        moved = self.copy()
+        moved.x += dx
+        moved.y += dy
+        return moved
+
+    def normalized(self) -> "Placement":
+        """Return a copy translated so the bounding box corner is (0, 0)."""
+        xlo, ylo, _, _ = self.bounding_box()
+        return self.translate(-xlo, -ylo)
+
+    def __repr__(self) -> str:
+        xlo, ylo, xhi, yhi = self.bounding_box()
+        return (
+            f"Placement({self.circuit.name!r}, n={self.circuit.num_devices}, "
+            f"bbox=({xlo:.2f},{ylo:.2f})-({xhi:.2f},{yhi:.2f}))"
+        )

@@ -1,0 +1,28 @@
+"""Common result container shared by all placers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .metrics import summarize
+from .placement import Placement
+
+
+@dataclass
+class PlacerResult:
+    """Outcome of a placement run (global, detailed, or end-to-end).
+
+    ``stats`` holds method-specific telemetry (iteration counts, final
+    objective terms, ILP status, annealing schedule data, ...).
+    """
+
+    placement: Placement
+    runtime_s: float
+    method: str
+    stats: dict = field(default_factory=dict)
+
+    def metrics(self) -> dict[str, float]:
+        """Exact quality metrics of the resulting placement."""
+        out = summarize(self.placement)
+        out["runtime_s"] = self.runtime_s
+        return out

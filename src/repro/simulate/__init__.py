@@ -1,0 +1,35 @@
+"""Closed-form circuit performance models (SPICE-substitute)."""
+
+from .comparator import simulate_comparator
+from .dispatch import fom, simulate, spec_of
+from .helpers import (
+    EFFECTIVE_CAP_FF_PER_UM,
+    cap_sensitivity,
+    critical_net_lengths,
+    net_length,
+    pair_separation_um,
+    parasitic_cap_ff,
+    symmetry_mismatch_um,
+)
+from .misc import simulate_adder, simulate_scf, simulate_vga
+from .ota import simulate_ota
+from .vco import simulate_vco
+
+__all__ = [
+    "EFFECTIVE_CAP_FF_PER_UM",
+    "cap_sensitivity",
+    "critical_net_lengths",
+    "fom",
+    "net_length",
+    "pair_separation_um",
+    "parasitic_cap_ff",
+    "simulate",
+    "simulate_adder",
+    "simulate_comparator",
+    "simulate_ota",
+    "simulate_scf",
+    "simulate_vco",
+    "simulate_vga",
+    "spec_of",
+    "symmetry_mismatch_um",
+]

@@ -1,0 +1,53 @@
+"""Closed-form dynamic-comparator model (delay / offset / power).
+
+* **Regeneration delay** scales with the capacitance parasitics add to
+  the latch's internal and output nets (the latch time constant is
+  :math:`C_{node} / g_m`).
+* **Input-referred offset** grows linearly with matched-pair
+  separation (process gradients) and with any residual symmetry
+  violation.
+* **Dynamic power** is :math:`f C V^2`-like: proportional to the total
+  switched capacitance, so it also tracks the critical-net parasitics.
+"""
+
+from __future__ import annotations
+
+from ..placement import Placement
+from .helpers import (
+    EFFECTIVE_CAP_FF_PER_UM,
+    aggressor_coupling,
+    clamp,
+    critical_net_lengths,
+    pair_separation_um,
+    symmetry_mismatch_um,
+)
+
+#: internal latch-node capacitance the parasitics are compared against
+_NODE_CAP_FF = 6.0
+
+
+def simulate_comparator(placement: Placement) -> dict[str, float]:
+    """Performance metrics for the comparator family."""
+    model = placement.circuit.metadata["model"]
+    lengths = critical_net_lengths(placement)
+    cap_par = EFFECTIVE_CAP_FF_PER_UM * sum(lengths.values())
+    per_net = cap_par / max(len(lengths), 1)
+
+    delay = model["delay0_ps"] * (1.0 + per_net / _NODE_CAP_FF)
+    separation = pair_separation_um(placement)
+    mismatch = symmetry_mismatch_um(placement)
+    offset = (
+        model["offset0_mv"]
+        * (1.0 + 0.20 * separation)
+        + 3.0 * mismatch
+        # clock kickback from the tail/precharge devices into the
+        # input pair grows as they crowd together
+        + model.get("coupling_k", 0.0) * aggressor_coupling(placement)
+    )
+    power = model["power0_uw"] * (1.0 + 0.5 * per_net / _NODE_CAP_FF)
+
+    return {
+        "delay_ps": clamp(delay, 1.0),
+        "offset_mv": clamp(offset, 0.0),
+        "power_uw": clamp(power, 0.0),
+    }

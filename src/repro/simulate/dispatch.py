@@ -1,0 +1,52 @@
+"""Family dispatcher: ``simulate(placement)`` -> metric dict + FOM."""
+
+from __future__ import annotations
+
+from ..perf import PerformanceSpec
+from ..placement import Placement
+from .comparator import simulate_comparator
+from .misc import simulate_adder, simulate_scf, simulate_vga
+from .ota import simulate_ota
+from .vco import simulate_vco
+
+_FAMILY_MODELS = {
+    "ota": simulate_ota,
+    "comparator": simulate_comparator,
+    "vco": simulate_vco,
+    "adder": simulate_adder,
+    "vga": simulate_vga,
+    "scf": simulate_scf,
+}
+
+
+def simulate(placement: Placement) -> dict[str, float]:
+    """Evaluate a placement's circuit performance metrics.
+
+    The circuit's ``metadata['family']`` selects the closed-form model;
+    every paper testcase sets it.
+    """
+    family = placement.circuit.metadata.get("family")
+    try:
+        model = _FAMILY_MODELS[family]
+    except KeyError:
+        raise KeyError(
+            f"circuit {placement.circuit.name!r} has unknown family "
+            f"{family!r}; known: {sorted(_FAMILY_MODELS)}"
+        ) from None
+    return model(placement)
+
+
+def spec_of(placement: Placement) -> PerformanceSpec:
+    """The circuit's performance specification from its metadata."""
+    spec = placement.circuit.metadata.get("spec")
+    if not isinstance(spec, PerformanceSpec):
+        raise KeyError(
+            f"circuit {placement.circuit.name!r} has no PerformanceSpec "
+            "in metadata['spec']"
+        )
+    return spec
+
+
+def fom(placement: Placement) -> float:
+    """Figure of Merit (paper eq. 6 + weighted sum) of a placement."""
+    return spec_of(placement).fom(simulate(placement))

@@ -1,0 +1,102 @@
+"""Closed-form models for the adder, VGA and SCF testcases."""
+
+from __future__ import annotations
+
+from ..placement import Placement
+from .helpers import (
+    EFFECTIVE_CAP_FF_PER_UM,
+    aggressor_coupling,
+    clamp,
+    critical_net_lengths,
+    pair_separation_um,
+    symmetry_mismatch_um,
+)
+
+
+def simulate_adder(placement: Placement) -> dict[str, float]:
+    """Summing-amplifier metrics: gain accuracy and bandwidth.
+
+    Accuracy suffers from parasitics on the virtual-ground summing node
+    (signal leakage) and from opamp-pair mismatch; the bandwidth rolls
+    off with output loading like any single-pole stage.
+    """
+    model = placement.circuit.metadata["model"]
+    lengths = critical_net_lengths(placement)
+    load_ff = model["load_cap_ff"]
+
+    cap_sum = EFFECTIVE_CAP_FF_PER_UM * lengths.get("vsum", 0.0)
+    cap_out = EFFECTIVE_CAP_FF_PER_UM * lengths.get("vout", 0.0)
+
+    accuracy = (
+        model["gain_acc0_pct"]
+        - 0.30 * cap_sum
+        - 2.0 * symmetry_mismatch_um(placement)
+        - 0.10 * pair_separation_um(placement)
+    )
+    bw = model["bw0_mhz"] * load_ff / (load_ff + 2.0 * cap_out + 1.0 * cap_sum)
+    return {
+        "gain_acc_pct": clamp(accuracy, 0.0, 100.0),
+        "bw_mhz": clamp(bw, 0.0),
+    }
+
+
+def simulate_vga(placement: Placement) -> dict[str, float]:
+    """VGA metrics: max gain, gain-step accuracy, bandwidth.
+
+    The inter-stage and output critical nets load the signal path
+    (bandwidth); gain-step accuracy is a pure matching metric, driven
+    by the separation of the degeneration-resistor pairs.
+    """
+    model = placement.circuit.metadata["model"]
+    lengths = critical_net_lengths(placement)
+    load_ff = model["load_cap_ff"]
+
+    cap_path = EFFECTIVE_CAP_FF_PER_UM * sum(lengths.values())
+    separation = pair_separation_um(placement)
+    mismatch = symmetry_mismatch_um(placement)
+
+    gain = model["gain0_db"] - 0.10 * separation - 2.0 * mismatch \
+        - 0.02 * cap_path
+    step_acc = model["step_acc0_pct"] - 0.70 * separation \
+        - 3.0 * mismatch \
+        - model.get("coupling_k", 0.0) * aggressor_coupling(placement)
+    bw = model["bw0_mhz"] * load_ff / (load_ff + 0.5 * cap_path)
+    return {
+        "gain_db": clamp(gain, 0.0),
+        "step_acc_pct": clamp(step_acc, 0.0, 100.0),
+        "bw_mhz": clamp(bw, 0.0),
+    }
+
+
+def simulate_scf(placement: Placement) -> dict[str, float]:
+    """Switched-capacitor-filter metrics.
+
+    Cutoff accuracy is set by capacitor-ratio matching (unit-cap pair
+    separation); settling margin by the parasitics on the integrator
+    virtual grounds; swing degrades weakly with total loading.
+    """
+    model = placement.circuit.metadata["model"]
+    lengths = critical_net_lengths(placement)
+    load_ff = model["load_cap_ff"]
+
+    cap_vg = EFFECTIVE_CAP_FF_PER_UM * (
+        lengths.get("vg_a", 0.0) + lengths.get("vg_b", 0.0)
+    )
+    cap_out = EFFECTIVE_CAP_FF_PER_UM * (
+        lengths.get("vout_a", 0.0) + lengths.get("vout_b", 0.0)
+    )
+    separation = pair_separation_um(placement)
+    mismatch = symmetry_mismatch_um(placement)
+
+    cutoff = model["cutoff_acc0_pct"] - 0.16 * separation \
+        - 2.0 * mismatch - 0.04 * cap_vg \
+        - model.get("coupling_k", 0.0) * aggressor_coupling(placement)
+    settle = model["settle_margin0_pct"] * load_ff / (
+        load_ff + 5.0 * cap_vg + 2.0 * cap_out
+    )
+    swing = model["swing0_v"] * load_ff / (load_ff + 1.0 * cap_out)
+    return {
+        "cutoff_acc_pct": clamp(cutoff, 0.0, 100.0),
+        "settle_margin_pct": clamp(settle, 0.0, 100.0),
+        "swing_v": clamp(swing, 0.0),
+    }

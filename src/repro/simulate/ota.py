@@ -1,0 +1,75 @@
+"""Closed-form OTA small-signal model (gain / UGF / BW / PM).
+
+A two-pole amplifier view parameterised by the testcase metadata:
+
+* the unity-gain frequency rolls off with the parasitic capacitance on
+  the output-path critical nets:
+  :math:`UGF = UGF_0 \\cdot C_L / (C_L + C_{p,out})`;
+* the closed-loop bandwidth additionally suffers from internal-node
+  parasitics;
+* the DC gain loses a little to matched-pair separation
+  (process-gradient mismatch) and total critical wirelength;
+* the phase margin follows the two-pole expression
+  :math:`PM = PM_0 - \\arctan(UGF / p_2)` with the non-dominant pole
+  *fixed* at :math:`p_2 = p_{2,ratio} \\cdot UGF_0` — it belongs to the
+  internal device node, which placement cannot move.
+
+The fixed :math:`p_2` reproduces the paper's Table VI trade-off
+directly: a performance-driven placement that shortens the output nets
+buys UGF and BW but *pays* phase margin as the UGF climbs toward
+:math:`p_2`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..placement import Placement
+from .helpers import (
+    aggressor_coupling,
+    cap_sensitivity,
+    clamp,
+    critical_net_lengths,
+    pair_separation_um,
+    symmetry_mismatch_um,
+)
+
+
+def simulate_ota(placement: Placement) -> dict[str, float]:
+    """Performance metrics for the OTA family (and the paper's CC-OTA)."""
+    model = placement.circuit.metadata["model"]
+    lengths = critical_net_lengths(placement)
+    load_ff = model["load_cap_ff"]
+
+    out_names = [n for n in lengths if n.startswith("vout")]
+    internal = [n for n in lengths if not n.startswith("vout")]
+    sens = cap_sensitivity(placement)
+    cap_out = sens * sum(lengths[n] for n in out_names)
+    cap_int = sens * sum(lengths[n] for n in internal)
+
+    roll = load_ff / (load_ff + cap_out)
+    ugf = model["ugf0_mhz"] * roll
+    bw = model["bw0_mhz"] * roll * load_ff / (load_ff + 0.4 * cap_int)
+
+    separation = pair_separation_um(placement)
+    mismatch = symmetry_mismatch_um(placement)
+    gain = (
+        model["gain0_db"]
+        - model["mismatch_gain_db_per_um"] * 0.12 * separation
+        - 2.5 * mismatch
+        - 0.02 * sum(lengths.values())
+        # thermal gradient from the output stage onto the input pair
+        - model.get("coupling_k", 0.0) * aggressor_coupling(placement)
+    )
+
+    p2 = model.get("p2_ratio", 1.55) * model["ugf0_mhz"]
+    pm = model["pm0_deg"] - float(
+        np.degrees(np.arctan(ugf / max(p2, 1e-9)))
+    )
+
+    return {
+        "gain_db": clamp(gain, 0.0),
+        "ugf_mhz": clamp(ugf, 0.0),
+        "bw_mhz": clamp(bw, 0.0),
+        "pm_deg": clamp(pm, 0.0, 180.0),
+    }

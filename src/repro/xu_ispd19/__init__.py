@@ -1,0 +1,5 @@
+"""Previous analytical analog placement [11] (Xu et al., ISPD 2019)."""
+
+from .global_place import XuGlobalPlacer, XuParams, xu_global
+
+__all__ = ["XuGlobalPlacer", "XuParams", "xu_global"]

@@ -1,0 +1,114 @@
+"""Area-term and constraint-penalty tests."""
+
+import numpy as np
+import pytest
+
+from repro.analytic import (
+    ConstraintPenalties,
+    area_term,
+    max_grad_error,
+)
+from repro.placement import Placement, bounding_area
+
+
+class TestAreaTerm:
+    def test_gradient_exact(self, cc_ota_circuit, rng):
+        w, h = cc_ota_circuit.sizes()
+        n = cc_ota_circuit.num_devices
+        v = rng.uniform(0.0, 10.0, 2 * n)
+
+        def fun(vec):
+            value, gx, gy = area_term(vec[:n], vec[n:], w, h, 1.0)
+            return value, np.concatenate([gx, gy])
+
+        assert max_grad_error(fun, v) < 1e-6
+
+    def test_underestimates_true_area(self, cc_ota_circuit, rng):
+        w, h = cc_ota_circuit.sizes()
+        n = cc_ota_circuit.num_devices
+        x = rng.uniform(0.0, 10.0, n)
+        y = rng.uniform(0.0, 10.0, n)
+        smoothed = area_term(x, y, w, h, 0.5)[0]
+        exact = bounding_area(Placement(cc_ota_circuit, x, y))
+        # WA softmax underestimates the max-extent, so area is below
+        assert smoothed <= exact + 1e-9
+        assert smoothed > 0.5 * exact
+
+    def test_gradient_pulls_outliers_inward(self, cc_ota_circuit):
+        w, h = cc_ota_circuit.sizes()
+        n = cc_ota_circuit.num_devices
+        x = np.full(n, 5.0)
+        y = np.full(n, 5.0)
+        x[0] = 20.0  # far-right outlier
+        _, gx, _ = area_term(x, y, w, h, 0.5)
+        assert gx[0] > 0  # descending moves it left, shrinking area
+        assert abs(gx[0]) > abs(gx[1:]).max()
+
+
+class TestPenalties:
+    def test_gradients_exact(self, vco1_circuit, rng):
+        pen = ConstraintPenalties(vco1_circuit)
+        n = vco1_circuit.num_devices
+        v = rng.uniform(0.0, 10.0, 2 * n)
+
+        def fun(vec):
+            value, gx, gy = pen.total(vec[:n], vec[n:])
+            return value, np.concatenate([gx, gy])
+
+        assert max_grad_error(fun, v) < 1e-6
+
+    def test_zero_on_satisfying_placement(self, tiny_circuit):
+        pen = ConstraintPenalties(tiny_circuit)
+        # A and B symmetric about x=3: (0,0), (6,0)
+        x = np.array([0.0, 6.0, 10.0, 15.0])
+        y = np.array([0.0, 0.0, 5.0, 5.0])
+        value, gx, gy = pen.symmetry(x, y)
+        assert value == pytest.approx(0.0)
+        assert np.allclose(gx, 0.0)
+        assert np.allclose(gy, 0.0)
+
+    def test_symmetry_penalty_positive_on_violation(self, tiny_circuit):
+        pen = ConstraintPenalties(tiny_circuit)
+        x = np.array([0.0, 6.0, 10.0, 15.0])
+        y = np.array([0.0, 2.0, 5.0, 5.0])  # y mismatch
+        value, _, _ = pen.symmetry(x, y)
+        assert value == pytest.approx(4.0)  # (y_a - y_b)^2
+
+    def test_axis_is_free_variable(self, tiny_circuit):
+        """Translating a whole group keeps the penalty at zero."""
+        pen = ConstraintPenalties(tiny_circuit)
+        for shift in (0.0, 5.0, -3.0):
+            x = np.array([0.0 + shift, 6.0 + shift, 10.0, 15.0])
+            y = np.array([1.0, 1.0, 5.0, 5.0])
+            assert pen.symmetry(x, y)[0] == pytest.approx(0.0)
+
+    def test_ordering_hinge_one_sided(self, vco1_circuit):
+        pen = ConstraintPenalties(vco1_circuit)
+        n = vco1_circuit.num_devices
+        index = vco1_circuit.device_index()
+        x = np.zeros(n)
+        y = np.zeros(n)
+        # spread ring devices far apart in chain order: no violation
+        for k, name in enumerate(f"MN{i}" for i in range(3)):
+            x[index[name]] = 10.0 * k
+        value, _, _ = pen.ordering(x, y)
+        assert value == pytest.approx(0.0)
+        # reverse the order: violations appear
+        for k, name in enumerate(f"MN{i}" for i in range(3)):
+            x[index[name]] = -10.0 * k
+        value, _, _ = pen.ordering(x, y)
+        assert value > 0.0
+
+    def test_alignment_kinds(self, cc_ota_circuit):
+        pen = ConstraintPenalties(cc_ota_circuit)
+        n = cc_ota_circuit.num_devices
+        index = cc_ota_circuit.device_index()
+        x = np.arange(n, dtype=float) * 5
+        y = np.zeros(n)
+        # M5/M6 are vcenter-aligned in CC-OTA
+        x[index["M6"]] = x[index["M5"]]
+        base, _, _ = pen.alignment(x, y)
+        assert base == pytest.approx(0.0)
+        x[index["M6"]] += 2.0
+        moved, _, _ = pen.alignment(x, y)
+        assert moved == pytest.approx(4.0)

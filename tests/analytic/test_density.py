@@ -1,0 +1,112 @@
+"""Electrostatic (eDensity) and bell-shaped density tests."""
+
+import numpy as np
+import pytest
+
+from repro.analytic import BellDensityGrid, DensityGrid, bell_profile, \
+    poisson_solve_dct
+
+
+class TestPoissonSolve:
+    def test_discrete_laplacian_recovered(self, rng):
+        """psi solves the 5-point Neumann Laplacian exactly."""
+        m = 16
+        rho = rng.normal(0.0, 1.0, (m, m))
+        rho -= rho.mean()
+        hx = hy = 0.5
+        psi = poisson_solve_dct(rho, hx, hy)
+        # apply the Neumann 5-point Laplacian via reflect padding
+        padded = np.pad(psi, 1, mode="edge")
+        lap = (
+            padded[2:, 1:-1] + padded[:-2, 1:-1] - 2 * psi
+        ) / hx ** 2 + (
+            padded[1:-1, 2:] + padded[1:-1, :-2] - 2 * psi
+        ) / hy ** 2
+        assert np.abs(lap + rho).max() < 1e-9
+
+    def test_zero_density_zero_potential(self):
+        psi = poisson_solve_dct(np.zeros((8, 8)), 1.0, 1.0)
+        assert np.abs(psi).max() < 1e-12
+
+
+class TestDensityGrid:
+    def _grid(self, n=4):
+        widths = np.full(n, 2.0)
+        heights = np.full(n, 2.0)
+        return DensityGrid(widths, heights, 12.0, 12.0, bins=24)
+
+    def test_rasterize_conserves_area(self, rng):
+        grid = self._grid()
+        x = rng.uniform(1.0, 11.0, 4)
+        y = rng.uniform(1.0, 11.0, 4)
+        charge = grid.rasterize(x, y)
+        assert charge.sum() == pytest.approx(4 * 4.0)
+
+    def test_rasterize_clamps_strays_with_full_charge(self):
+        grid = self._grid(1)
+        charge = grid.rasterize(np.array([-5.0]), np.array([20.0]))
+        assert charge.sum() == pytest.approx(4.0)
+
+    def test_clustered_energy_exceeds_spread(self):
+        grid = self._grid(4)
+        clustered = grid.energy_and_grad(
+            np.full(4, 6.0), np.full(4, 6.0))
+        spread = grid.energy_and_grad(
+            np.array([2.0, 10.0, 2.0, 10.0]),
+            np.array([2.0, 2.0, 10.0, 10.0]))
+        assert clustered[0] > spread[0]
+        assert clustered[3] > spread[3]  # overflow too
+
+    def test_overlapping_pair_repels(self):
+        grid = self._grid(2)
+        x = np.array([5.5, 6.5])
+        y = np.array([6.0, 6.0])
+        _, gx, _, _ = grid.energy_and_grad(x, y)
+        # descending the gradient should push them apart
+        assert gx[0] > 0.0  # left device pushed further left
+        assert gx[1] < 0.0
+
+    def test_rejects_empty_region(self):
+        with pytest.raises(ValueError, match="positive"):
+            DensityGrid(np.ones(1), np.ones(1), 0.0, 5.0)
+
+
+class TestBellDensity:
+    def test_profile_continuity_and_support(self):
+        size, bin_size = 2.0, 0.5
+        knee = size / 2 + bin_size
+        cutoff = size / 2 + 2 * bin_size
+        d = np.array([0.0, knee - 1e-9, knee + 1e-9, cutoff - 1e-9,
+                      cutoff + 1e-9, 10.0])
+        value, _ = bell_profile(d, size, bin_size)
+        assert value[0] == pytest.approx(1.0)
+        assert value[1] == pytest.approx(value[2], abs=1e-6)
+        assert value[4] == 0.0
+        assert value[5] == 0.0
+
+    def test_profile_even_derivative_odd(self):
+        v_pos, d_pos = bell_profile(np.array([0.7]), 2.0, 0.5)
+        v_neg, d_neg = bell_profile(np.array([-0.7]), 2.0, 0.5)
+        assert v_pos == pytest.approx(v_neg)
+        assert d_pos == pytest.approx(-d_neg)
+
+    def test_penalty_prefers_spread(self):
+        widths = np.full(4, 2.0)
+        heights = np.full(4, 2.0)
+        grid = BellDensityGrid(widths, heights, 12.0, 12.0, bins=12)
+        clustered = grid.penalty_and_grad(
+            np.full(4, 6.0), np.full(4, 6.0))[0]
+        spread = grid.penalty_and_grad(
+            np.array([2.0, 10.0, 2.0, 10.0]),
+            np.array([2.0, 2.0, 10.0, 10.0]))[0]
+        assert clustered > spread
+
+    def test_gradient_direction(self):
+        widths = np.full(2, 2.0)
+        heights = np.full(2, 2.0)
+        grid = BellDensityGrid(widths, heights, 12.0, 12.0, bins=12)
+        x = np.array([5.6, 6.4])
+        y = np.array([6.0, 6.0])
+        _, gx, _ = grid.penalty_and_grad(x, y)
+        assert gx[0] > 0.0
+        assert gx[1] < 0.0

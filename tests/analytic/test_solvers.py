@@ -1,0 +1,119 @@
+"""Nesterov and conjugate-gradient solver tests."""
+
+import numpy as np
+import pytest
+
+from repro.analytic import NesterovOptimizer, conjugate_gradient
+
+
+def _quadratic(n=12, cond=50.0, seed=0):
+    rng = np.random.default_rng(seed)
+    eigs = np.linspace(1.0, cond, n)
+    q = np.diag(eigs)
+    b = rng.normal(0.0, 1.0, n)
+    solution = np.linalg.solve(q, b)
+
+    def fun(v):
+        return 0.5 * v @ q @ v - b @ v, q @ v - b
+
+    return fun, solution
+
+
+class TestNesterov:
+    def test_converges_on_quadratic(self):
+        fun, solution = _quadratic()
+        opt = NesterovOptimizer(np.zeros(12), fun, alpha0=1e-3)
+        opt.run(400)
+        assert np.abs(opt.v - solution).max() < 1e-6
+
+    def test_faster_than_plain_descent(self):
+        """Acceleration beats fixed-step gradient descent markedly."""
+        fun, solution = _quadratic(cond=200.0)
+        opt = NesterovOptimizer(np.zeros(12), fun, alpha0=1e-3)
+        opt.run(150)
+        nesterov_err = np.abs(opt.v - solution).max()
+
+        v = np.zeros(12)
+        for _ in range(150):
+            _, g = fun(v)
+            v = v - (1.0 / 200.0) * g  # 1/L step
+        plain_err = np.abs(v - solution).max()
+        assert nesterov_err < plain_err / 10.0
+
+    def test_projection_respected(self):
+        fun, _ = _quadratic()
+        lo, hi = -0.1, 0.1
+        opt = NesterovOptimizer(
+            np.zeros(12), fun,
+            projection=lambda v: np.clip(v, lo, hi),
+            alpha0=1e-3,
+        )
+        opt.run(100)
+        assert opt.v.min() >= lo - 1e-12
+        assert opt.v.max() <= hi + 1e-12
+
+    def test_restart_reported_on_objective_change(self):
+        """Swapping the objective mid-run (as the placer's weight
+        schedule does) raises the value and triggers a restart."""
+        def f1(v):
+            return float(v @ v), 2 * v
+
+        def f2(v):
+            d = v - 10.0
+            return float(d @ d), 2 * d
+
+        opt = NesterovOptimizer(np.ones(4), f1, alpha0=1e-2)
+        for _ in range(10):
+            assert not opt.step().restarted or True
+        opt.objective = f2  # value at current point jumps upward
+        restarts = sum(opt.step().restarted for _ in range(5))
+        assert restarts > 0
+
+    def test_telemetry_fields(self):
+        fun, _ = _quadratic()
+        opt = NesterovOptimizer(np.zeros(12), fun, alpha0=1e-3)
+        info = opt.step()
+        assert info.iteration == 1
+        assert info.grad_norm > 0
+        assert info.step_length > 0
+
+
+class TestConjugateGradient:
+    def test_converges_on_quadratic(self):
+        fun, solution = _quadratic()
+        result = conjugate_gradient(fun, np.zeros(12), iterations=400,
+                                    tol=1e-6)
+        assert result.converged
+        assert np.abs(result.v - solution).max() < 1e-5
+
+    def test_rosenbrock(self):
+        def rosen(v):
+            x, y = v
+            value = (1 - x) ** 2 + 100 * (y - x * x) ** 2
+            grad = np.array([
+                -2 * (1 - x) - 400 * x * (y - x * x),
+                200 * (y - x * x),
+            ])
+            return value, grad
+
+        result = conjugate_gradient(rosen, np.array([-1.2, 1.0]),
+                                    iterations=5000, tol=1e-8,
+                                    alpha0=1e-3)
+        assert np.abs(result.v - 1.0).max() < 1e-3
+
+    def test_monotone_descent(self):
+        fun, _ = _quadratic()
+        values = []
+        v = np.full(12, 3.0)
+        for _ in range(5):
+            result = conjugate_gradient(fun, v, iterations=10)
+            values.append(result.value)
+            v = result.v
+        assert all(b <= a + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_zero_gradient_immediate_convergence(self):
+        fun, solution = _quadratic()
+        result = conjugate_gradient(fun, solution, iterations=10,
+                                    tol=1e-6)
+        assert result.converged
+        assert result.iterations == 0

@@ -1,0 +1,111 @@
+"""WA/LSE smoothing tests: gradient exactness and bounding behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytic import (
+    NetArrays,
+    lse_wirelength,
+    max_grad_error,
+    wa_wirelength,
+)
+
+
+@pytest.fixture
+def arrays(cc_ota_circuit):
+    return NetArrays(cc_ota_circuit)
+
+
+def _pack(fun, n):
+    def packed(v):
+        value, gx, gy = fun(v[:n], v[n:])
+        return value, np.concatenate([gx, gy])
+    return packed
+
+
+class TestGradients:
+    @pytest.mark.parametrize("smoother", [wa_wirelength, lse_wirelength])
+    @pytest.mark.parametrize("gamma", [0.3, 1.0, 5.0])
+    def test_analytic_gradient_matches_fd(self, arrays, rng, smoother,
+                                          gamma):
+        n = arrays.circuit.num_devices
+        v = rng.uniform(0.0, 10.0, 2 * n)
+        err = max_grad_error(
+            _pack(lambda x, y: smoother(arrays, x, y, gamma), n),
+            v, eps=1e-6,
+        )
+        assert err < 1e-6
+
+
+class TestBounds:
+    def test_wa_underestimates_lse_overestimates(self, arrays, rng):
+        """WA <= exact HPWL <= LSE for every gamma (known property)."""
+        n = arrays.circuit.num_devices
+        x = rng.uniform(0.0, 12.0, n)
+        y = rng.uniform(0.0, 12.0, n)
+        exact = arrays.exact_hpwl(x, y)
+        for gamma in (0.2, 1.0, 3.0):
+            wa = wa_wirelength(arrays, x, y, gamma)[0]
+            lse = lse_wirelength(arrays, x, y, gamma)[0]
+            assert wa <= exact + 1e-9
+            assert lse >= exact - 1e-9
+
+    def test_convergence_to_exact_as_gamma_shrinks(self, arrays, rng):
+        n = arrays.circuit.num_devices
+        x = rng.uniform(0.0, 12.0, n)
+        y = rng.uniform(0.0, 12.0, n)
+        exact = arrays.exact_hpwl(x, y)
+        gaps_wa = []
+        gaps_lse = []
+        for gamma in (2.0, 1.0, 0.5, 0.25):
+            gaps_wa.append(exact - wa_wirelength(arrays, x, y, gamma)[0])
+            gaps_lse.append(lse_wirelength(arrays, x, y, gamma)[0] - exact)
+        assert all(np.diff(gaps_wa) < 1e-9)
+        assert all(np.diff(gaps_lse) < 1e-9)
+
+    def test_wa_smaller_error_than_lse(self, arrays, rng):
+        """The paper's cited reason [23] for choosing WA over LSE."""
+        n = arrays.circuit.num_devices
+        wa_err = 0.0
+        lse_err = 0.0
+        for seed in range(10):
+            local = np.random.default_rng(seed)
+            x = local.uniform(0.0, 12.0, n)
+            y = local.uniform(0.0, 12.0, n)
+            exact = arrays.exact_hpwl(x, y)
+            wa_err += abs(exact - wa_wirelength(arrays, x, y, 1.0)[0])
+            lse_err += abs(exact - lse_wirelength(arrays, x, y, 1.0)[0])
+        assert wa_err < lse_err
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 2 ** 31 - 1), st.floats(0.2, 4.0))
+def test_property_translation_invariance(seed, gamma):
+    """Smoothed wirelength is invariant under rigid translation."""
+    from repro.circuits import comp1
+
+    circuit = comp1()
+    arrays = NetArrays(circuit)
+    local = np.random.default_rng(seed)
+    n = circuit.num_devices
+    x = local.uniform(0.0, 10.0, n)
+    y = local.uniform(0.0, 10.0, n)
+    for smoother in (wa_wirelength, lse_wirelength):
+        base = smoother(arrays, x, y, gamma)[0]
+        moved = smoother(arrays, x + 7.3, y - 2.1, gamma)[0]
+        assert moved == pytest.approx(base, rel=1e-9, abs=1e-9)
+
+
+def test_exact_hpwl_matches_metrics(arrays):
+    """NetArrays.exact_hpwl agrees with the Placement metric."""
+    from repro.placement import Placement, hpwl
+
+    circuit = arrays.circuit
+    local = np.random.default_rng(3)
+    n = circuit.num_devices
+    x = local.uniform(0.0, 10.0, n)
+    y = local.uniform(0.0, 10.0, n)
+    placement = Placement(circuit, x, y)
+    assert arrays.exact_hpwl(x, y) == pytest.approx(hpwl(placement))

@@ -1,0 +1,83 @@
+"""Simulated-annealing placer tests."""
+
+import pytest
+
+from repro.annealing import SAParams, anneal_place
+from repro.placement import audit_constraints, total_overlap
+from repro.simulate import fom
+
+
+class TestSAParams:
+    def test_rejects_bad_iterations(self):
+        with pytest.raises(ValueError):
+            SAParams(iterations=0)
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            SAParams(area_weight=-1.0)
+
+
+class TestPlacement:
+    def test_legal_result(self, cc_ota_circuit, fast_sa_params):
+        result = anneal_place(cc_ota_circuit, fast_sa_params)
+        assert total_overlap(result.placement) == pytest.approx(0.0)
+        assert audit_constraints(result.placement).ok
+
+    def test_ordering_chains_respected(self, vco1_circuit,
+                                       fast_sa_params):
+        result = anneal_place(vco1_circuit, fast_sa_params)
+        audit = audit_constraints(result.placement)
+        assert audit.ordering == pytest.approx(0.0)
+        assert audit.ok
+
+    def test_deterministic_given_seed(self, adder_circuit):
+        from repro.circuits import adder
+
+        a = anneal_place(adder(), SAParams(iterations=800, seed=5))
+        b = anneal_place(adder(), SAParams(iterations=800, seed=5))
+        assert a.metrics()["hpwl"] == pytest.approx(b.metrics()["hpwl"])
+        assert a.metrics()["area"] == pytest.approx(b.metrics()["area"])
+
+    def test_more_iterations_not_worse(self, comp1_circuit):
+        from repro.circuits import comp1
+
+        short = anneal_place(comp1(), SAParams(iterations=300, seed=7))
+        long = anneal_place(comp1(), SAParams(iterations=6000, seed=7))
+
+        def cost(result):
+            m = result.metrics()
+            return m["hpwl"], m["area"]
+
+        # the longer run keeps the best-seen state, so its combined
+        # normalised cost cannot exceed the short run's
+        assert long.stats["best_cost"] <= short.stats["best_cost"] + 1e-9
+
+    def test_stats_telemetry(self, adder_circuit, fast_sa_params):
+        result = anneal_place(adder_circuit, fast_sa_params)
+        assert 0.0 < result.stats["accept_rate"] <= 1.0
+        assert result.stats["blocks"] >= 1
+        assert result.stats["t0"] > 0
+
+    def test_area_weight_tradeoff(self):
+        """Higher area weight buys smaller area (Fig. 5 mechanics)."""
+        from repro.circuits import cm_ota1
+
+        light = anneal_place(cm_ota1(),
+                             SAParams(iterations=6000, seed=3,
+                                      area_weight=0.2))
+        heavy = anneal_place(cm_ota1(),
+                             SAParams(iterations=6000, seed=3,
+                                      area_weight=3.0))
+        assert heavy.metrics()["area"] <= light.metrics()["area"] + 1e-9
+
+    def test_cost_hook_changes_result(self, cc_ota_circuit):
+        """A performance hook steers the SA (Table V's Perf arm)."""
+        from repro.circuits import cc_ota
+
+        plain = anneal_place(cc_ota(), SAParams(iterations=4000, seed=3))
+        hooked = anneal_place(
+            cc_ota(),
+            SAParams(iterations=4000, seed=3, perf_weight=50.0),
+            cost_hook=lambda p: -fom(p),
+        )
+        assert fom(hooked.placement) >= fom(plain.placement) - 1e-9

@@ -1,0 +1,126 @@
+"""Symmetry-island and block-fusion tests."""
+
+import numpy as np
+import pytest
+
+from repro.annealing import build_blocks, fuse_alignment_blocks, \
+    reorder_island
+from repro.netlist import (
+    AlignmentPair,
+    Axis,
+    Circuit,
+    Device,
+    DeviceType,
+    SymmetryGroup,
+)
+
+
+def _sym_circuit():
+    c = Circuit("c")
+    for name in ("A", "B", "S", "F"):
+        c.add_device(Device(name, DeviceType.NMOS, 2.0, 1.0))
+    c.constraints.symmetry_groups.append(
+        SymmetryGroup("g", pairs=(("A", "B"),), self_symmetric=("S",))
+    )
+    return c
+
+
+class TestIslandConstruction:
+    def test_block_count(self):
+        blocks = build_blocks(_sym_circuit())
+        assert len(blocks) == 2  # island + free device F
+        island = blocks[0]
+        assert island.group is not None
+        assert sorted(island.device_indices) == [0, 1, 2]
+
+    def test_island_internal_symmetry(self):
+        island = build_blocks(_sym_circuit())[0]
+        # pair members mirror about the island centreline
+        rel = dict(zip(island.device_indices, zip(island.rel_x,
+                                                  island.rel_y)))
+        ax = island.width / 2.0
+        assert rel[0][0] + rel[1][0] == pytest.approx(2 * ax)
+        assert rel[0][1] == pytest.approx(rel[1][1])
+        assert rel[2][0] == pytest.approx(ax)  # self-symmetric centred
+
+    def test_right_member_flipped(self):
+        island = build_blocks(_sym_circuit())[0]
+        flips = dict(zip(island.device_indices, island.flip_x))
+        assert not flips[0]
+        assert flips[1]
+
+    def test_island_dimensions(self):
+        island = build_blocks(_sym_circuit())[0]
+        # two rows: pair row (w=2 each side -> 4 wide) and self row
+        assert island.width == pytest.approx(4.0)
+        assert island.height == pytest.approx(2.0)
+
+    def test_reorder_island_changes_rows(self):
+        circuit = _sym_circuit()
+        island = build_blocks(circuit)[0]
+        swapped = reorder_island(circuit, island, [1, 0])
+        # self-symmetric device now in the bottom row
+        rel_y = dict(zip(swapped.device_indices, swapped.rel_y))
+        assert rel_y[2] < rel_y[0]
+
+    def test_reorder_free_block_rejected(self):
+        circuit = _sym_circuit()
+        free = build_blocks(circuit)[1]
+        with pytest.raises(ValueError, match="free-device"):
+            reorder_island(circuit, free, [0])
+
+    def test_horizontal_axis_island_transposed(self):
+        c = Circuit("c")
+        for name in ("A", "B"):
+            c.add_device(Device(name, DeviceType.NMOS, 2.0, 1.0))
+        c.constraints.symmetry_groups.append(
+            SymmetryGroup("g", pairs=(("A", "B"),),
+                          axis=Axis.HORIZONTAL))
+        island = build_blocks(c)[0]
+        assert island.height == pytest.approx(2.0)  # stacked
+        assert island.width == pytest.approx(2.0)
+        assert island.flip_y.any()
+
+
+class TestFusion:
+    def _circuit_with_alignment(self, kind):
+        c = Circuit("c")
+        c.add_device(Device("L", DeviceType.RESISTOR, 2.0, 4.0))
+        c.add_device(Device("R", DeviceType.RESISTOR, 2.0, 2.0))
+        c.constraints.alignments.append(AlignmentPair("L", "R", kind))
+        return c
+
+    def test_bottom_fuse_aligns_bottoms(self):
+        c = self._circuit_with_alignment("bottom")
+        blocks = fuse_alignment_blocks(c, build_blocks(c))
+        assert len(blocks) == 1
+        block = blocks[0]
+        bottoms = block.rel_y - np.array([4.0, 2.0]) / 2.0
+        assert bottoms[0] == pytest.approx(bottoms[1])
+
+    def test_vcenter_fuse_aligns_x(self):
+        c = self._circuit_with_alignment("vcenter")
+        block = fuse_alignment_blocks(c, build_blocks(c))[0]
+        assert block.rel_x[0] == pytest.approx(block.rel_x[1])
+
+    def test_symmetry_pair_alignment_skipped(self):
+        c = Circuit("c")
+        for name in ("A", "B"):
+            c.add_device(Device(name, DeviceType.NMOS, 2.0, 2.0))
+        c.constraints.symmetry_groups.append(
+            SymmetryGroup("g", pairs=(("A", "B"),)))
+        c.constraints.alignments.append(
+            AlignmentPair("A", "B", "bottom"))
+        blocks = fuse_alignment_blocks(c, build_blocks(c))
+        assert len(blocks) == 1  # still just the island
+
+    def test_fusing_island_member_rejected(self):
+        c = Circuit("c")
+        for name in ("A", "B", "C"):
+            c.add_device(Device(name, DeviceType.NMOS, 2.0, 2.0))
+        c.constraints.symmetry_groups.append(
+            SymmetryGroup("g", pairs=(("A", "B"),)))
+        c.constraints.alignments.append(
+            AlignmentPair("A", "C", "bottom"))
+        with pytest.raises(ValueError, match="non-trivial"):
+            fuse_alignment_blocks(c, build_blocks(c))

@@ -1,0 +1,100 @@
+"""Sequence-pair representation and packing tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.annealing import SequencePair
+
+
+class TestConstruction:
+    def test_identity(self):
+        sp = SequencePair.identity(4)
+        assert sp.plus == [0, 1, 2, 3]
+        assert sp.minus == [0, 1, 2, 3]
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError, match="permutations"):
+            SequencePair([0, 0, 1], [0, 1, 2])
+
+    def test_copy_independent(self):
+        sp = SequencePair.identity(3)
+        other = sp.copy()
+        other.plus[0], other.plus[1] = other.plus[1], other.plus[0]
+        assert sp.plus == [0, 1, 2]
+
+
+class TestPacking:
+    def test_identity_is_horizontal_row(self):
+        sp = SequencePair.identity(3)
+        widths = np.array([2.0, 3.0, 1.0])
+        heights = np.array([1.0, 1.0, 1.0])
+        x, y = sp.pack(widths, heights)
+        assert x.tolist() == [0.0, 2.0, 5.0]
+        assert y.tolist() == [0.0, 0.0, 0.0]
+
+    def test_reversed_plus_is_vertical_stack(self):
+        sp = SequencePair([2, 1, 0], [0, 1, 2])
+        widths = np.array([2.0, 2.0, 2.0])
+        heights = np.array([1.0, 2.0, 3.0])
+        x, y = sp.pack(widths, heights)
+        assert x.tolist() == [0.0, 0.0, 0.0]
+        assert y.tolist() == [0.0, 1.0, 3.0]
+
+    def test_bounding_box(self):
+        sp = SequencePair.identity(2)
+        w, h = sp.bounding_box(np.array([2.0, 3.0]),
+                               np.array([4.0, 1.0]))
+        assert w == pytest.approx(5.0)
+        assert h == pytest.approx(4.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(2, 8).flatmap(lambda n: st.tuples(
+        st.permutations(range(n)),
+        st.permutations(range(n)),
+        st.lists(st.floats(0.5, 5.0), min_size=n, max_size=n),
+        st.lists(st.floats(0.5, 5.0), min_size=n, max_size=n),
+    ))
+)
+def test_property_packing_is_overlap_free(data):
+    """Any sequence pair packs without overlaps (core invariant)."""
+    plus, minus, widths, heights = data
+    sp = SequencePair(plus, minus)
+    w = np.asarray(widths)
+    h = np.asarray(heights)
+    x, y = sp.pack(w, h)
+    n = len(plus)
+    for i in range(n):
+        for j in range(i + 1, n):
+            dx = min(x[i] + w[i], x[j] + w[j]) - max(x[i], x[j])
+            dy = min(y[i] + h[i], y[j] + h[j]) - max(y[i], y[j])
+            assert dx <= 1e-9 or dy <= 1e-9, (i, j, dx, dy)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(2, 7).flatmap(lambda n: st.tuples(
+        st.permutations(range(n)),
+        st.permutations(range(n)),
+        st.lists(st.floats(0.5, 4.0), min_size=n, max_size=n),
+    ))
+)
+def test_property_relations_respected(data):
+    """a before b in both sequences implies a is left of b."""
+    plus, minus, widths = data
+    n = len(plus)
+    sp = SequencePair(plus, minus)
+    w = np.asarray(widths)
+    h = np.ones(n)
+    x, y = sp.pack(w, h)
+    pos_plus = {b: i for i, b in enumerate(plus)}
+    pos_minus = {b: i for i, b in enumerate(minus)}
+    for a in range(n):
+        for b in range(n):
+            if a == b:
+                continue
+            if pos_plus[a] < pos_plus[b] and pos_minus[a] < pos_minus[b]:
+                assert x[a] + w[a] <= x[b] + 1e-9

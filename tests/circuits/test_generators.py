@@ -1,0 +1,87 @@
+"""Testcase-generator checks: validity, grid, metadata contracts."""
+
+import pytest
+
+from repro.circuits import GRID, PAPER_TESTCASES, iter_testcases, make, \
+    snap_even
+from repro.perf import PerformanceSpec
+
+
+def test_registry_covers_paper_table():
+    assert PAPER_TESTCASES == (
+        "Adder", "CC-OTA", "Comp1", "Comp2", "CM-OTA1", "CM-OTA2",
+        "SCF", "VGA", "VCO1", "VCO2",
+    )
+
+
+def test_make_unknown_raises():
+    with pytest.raises(KeyError, match="unknown testcase"):
+        make("NotACircuit")
+
+
+def test_make_returns_fresh_instances():
+    a = make("Adder")
+    b = make("Adder")
+    assert a is not b
+    a.devices.popitem()
+    assert make("Adder").num_devices == b.num_devices
+
+
+@pytest.mark.parametrize("name", PAPER_TESTCASES)
+class TestEveryCircuit:
+    def test_validates(self, name):
+        make(name).validate()
+
+    def test_even_grid_dimensions(self, name):
+        """ILP centres need w/2 and h/2 integral in grid steps."""
+        circuit = make(name)
+        for device in circuit.devices.values():
+            w_steps = round(device.width / GRID)
+            h_steps = round(device.height / GRID)
+            assert abs(device.width - w_steps * GRID) < 1e-9
+            assert abs(device.height - h_steps * GRID) < 1e-9
+            assert w_steps % 2 == 0
+            assert h_steps % 2 == 0
+
+    def test_metadata_contract(self, name):
+        circuit = make(name)
+        assert isinstance(circuit.metadata["spec"], PerformanceSpec)
+        model = circuit.metadata["model"]
+        assert "critical_nets" in model
+        net_names = {net.name for net in circuit.nets}
+        for crit in model["critical_nets"]:
+            assert crit in net_names
+
+    def test_has_symmetry_constraints(self, name):
+        circuit = make(name)
+        assert circuit.constraints.symmetry_groups
+
+    def test_no_dangling_pins_in_critical_nets(self, name):
+        circuit = make(name)
+        crit = set(circuit.metadata["model"]["critical_nets"])
+        for net in circuit.nets:
+            if net.name in crit:
+                assert net.degree >= 2
+
+    def test_device_count_scale(self, name):
+        """The paper says each circuit has 'dozens of devices'."""
+        circuit = make(name)
+        assert 8 <= circuit.num_devices <= 60
+
+
+def test_scf_is_largest():
+    """The paper's SCF is by far the largest testcase (Table III)."""
+    areas = {c.name: c.total_device_area() for c in iter_testcases()}
+    scf = areas.pop("SCF")
+    assert scf > 3 * max(areas.values())
+
+
+def test_snap_even():
+    assert snap_even(2.0) == pytest.approx(2.0)
+    assert snap_even(2.05) == pytest.approx(2.0)
+    assert snap_even(2.11) == pytest.approx(2.2)
+    assert snap_even(0.01) == pytest.approx(0.2)  # minimum 2 steps
+    # result is always an even number of grid steps
+    for value in (0.37, 1.93, 5.01):
+        steps = round(snap_even(value) / GRID)
+        assert steps % 2 == 0

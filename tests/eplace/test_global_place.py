@@ -1,0 +1,134 @@
+"""ePlace-A global placement tests."""
+
+import numpy as np
+import pytest
+
+from repro.eplace import EPlaceGlobalPlacer, EPlaceParams, eplace_global
+from repro.placement import hpwl, total_overlap, utilization
+
+
+class TestParams:
+    def test_bad_utilization(self):
+        with pytest.raises(ValueError, match="utilization"):
+            EPlaceParams(utilization=0.0)
+
+    def test_bad_symmetry_mode(self):
+        with pytest.raises(ValueError, match="symmetry_mode"):
+            EPlaceParams(symmetry_mode="loose")
+
+
+class TestGlobalPlacement:
+    def test_devices_inside_region(self, cc_ota_circuit,
+                                   fast_gp_params):
+        placer = EPlaceGlobalPlacer(cc_ota_circuit, fast_gp_params)
+        result = placer.place()
+        w, h = cc_ota_circuit.sizes()
+        assert np.all(result.placement.x - w / 2 >= -1e-9)
+        assert np.all(result.placement.x + w / 2 <= placer.region + 1e-9)
+        assert np.all(result.placement.y - h / 2 >= -1e-9)
+        assert np.all(result.placement.y + h / 2 <= placer.region + 1e-9)
+
+    def test_spreads_from_clustered_start(self, cc_ota_circuit,
+                                          fast_gp_params):
+        placer = EPlaceGlobalPlacer(cc_ota_circuit, fast_gp_params)
+        x0, y0 = placer.initial_positions()
+        from repro.placement import Placement
+
+        start_overlap = total_overlap(
+            Placement(cc_ota_circuit, x0, y0))
+        result = placer.place()
+        assert total_overlap(result.placement) < 0.35 * start_overlap
+        assert result.stats["final_overflow"] < 0.35
+
+    def test_deterministic(self, cc_ota_circuit, fast_gp_params):
+        from repro.circuits import cc_ota
+
+        a = eplace_global(cc_ota(), fast_gp_params)
+        b = eplace_global(cc_ota(), fast_gp_params)
+        assert np.allclose(a.placement.x, b.placement.x)
+
+    def test_area_term_shrinks_layout(self):
+        """Fig. 2's mechanism: eta=0 spreads over the whole region."""
+        from repro.circuits import cc_ota
+        from repro.legalize import DetailedParams, detailed_place
+
+        dp = DetailedParams(iterate_rounds=1, refine_rounds=0)
+        with_area = detailed_place(eplace_global(
+            cc_ota(), EPlaceParams(max_iters=200, min_iters=40,
+                                   bins=16, eta=0.3)).placement, dp)
+        without = detailed_place(eplace_global(
+            cc_ota(), EPlaceParams(max_iters=200, min_iters=40,
+                                   bins=16, eta=0.0)).placement, dp)
+        assert with_area.metrics()["area"] <= \
+            without.metrics()["area"] + 1e-9
+
+    def test_hard_symmetry_exact_in_gp(self):
+        from repro.circuits import cc_ota
+        from repro.placement import audit_constraints
+
+        result = eplace_global(
+            cc_ota(), EPlaceParams(max_iters=120, min_iters=20,
+                                   bins=16, symmetry_mode="hard"))
+        audit = audit_constraints(result.placement)
+        assert audit.symmetry == pytest.approx(0.0, abs=1e-6)
+
+    def test_soft_symmetry_small_residual(self, cc_ota_circuit,
+                                          fast_gp_params):
+        from repro.placement import audit_constraints
+
+        result = eplace_global(cc_ota_circuit, fast_gp_params)
+        audit = audit_constraints(result.placement)
+        # soft: not exact, but within a fraction of a device size
+        assert audit.symmetry < 1.0
+
+
+class TestHardSymmetryMap:
+    def test_roundtrip(self, cc_ota_circuit, rng):
+        from repro.eplace import HardSymmetryMap
+
+        hard = HardSymmetryMap(cc_ota_circuit)
+        n = cc_ota_circuit.num_devices
+        x = rng.uniform(0, 10, n)
+        y = rng.uniform(0, 10, n)
+        v = hard.reduce(x, y)
+        fx, fy = hard.expand(v)
+        v2 = hard.reduce(fx, fy)
+        assert np.allclose(v, v2)
+
+    def test_expansion_is_symmetric(self, cc_ota_circuit, rng):
+        from repro.eplace import HardSymmetryMap
+        from repro.placement import Placement, audit_constraints
+
+        hard = HardSymmetryMap(cc_ota_circuit)
+        v = rng.uniform(0, 10, hard.size)
+        x, y = hard.expand(v)
+        audit = audit_constraints(Placement(cc_ota_circuit, x, y))
+        assert audit.symmetry == pytest.approx(0.0, abs=1e-9)
+
+    def test_pullback_matches_fd(self, cc_ota_circuit, rng):
+        """Chain rule through the reparameterisation is exact."""
+        from repro.eplace import HardSymmetryMap
+
+        hard = HardSymmetryMap(cc_ota_circuit)
+        v = rng.uniform(0, 10, hard.size)
+        n = cc_ota_circuit.num_devices
+        # arbitrary smooth function of full coordinates
+        coeff_x = rng.normal(0, 1, n)
+        coeff_y = rng.normal(0, 1, n)
+
+        def full_fun(x, y):
+            return float(np.sin(x) @ coeff_x + np.cos(y) @ coeff_y)
+
+        x, y = hard.expand(v)
+        gx = np.cos(x) * coeff_x
+        gy = -np.sin(y) * coeff_y
+        reduced_grad = hard.pullback(gx, gy)
+        eps = 1e-6
+        for i in range(0, hard.size, max(hard.size // 6, 1)):
+            bump = np.zeros(hard.size)
+            bump[i] = eps
+            xp, yp = hard.expand(v + bump)
+            xm, ym = hard.expand(v - bump)
+            num = (full_fun(xp, yp) - full_fun(xm, ym)) / (2 * eps)
+            assert reduced_grad[i] == pytest.approx(num, rel=1e-5,
+                                                    abs=1e-8)

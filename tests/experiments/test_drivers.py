@@ -1,0 +1,89 @@
+"""Experiment-driver tests (quick budgets)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    Budgets,
+    format_fig2,
+    format_fig5,
+    format_table,
+    format_table1,
+    format_table3,
+    format_table4,
+    geometric_mean_ratio,
+    pareto_front,
+    quick_mode_default,
+    run_table3,
+    table3_ratios,
+)
+
+
+class TestCommon:
+    def test_budget_profiles(self):
+        full = Budgets.full()
+        quick = Budgets.quick()
+        assert quick.sa_iterations < full.sa_iterations
+        assert quick.model_samples < full.model_samples
+
+    def test_budget_select_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_QUICK", "1")
+        assert quick_mode_default()
+        assert Budgets.select().sa_iterations == \
+            Budgets.quick().sa_iterations
+        monkeypatch.setenv("REPRO_QUICK", "0")
+        assert not quick_mode_default()
+
+    def test_sa_params_override(self):
+        budgets = Budgets.quick()
+        params = budgets.sa_params(area_weight=2.5)
+        assert params.area_weight == 2.5
+        assert params.iterations == budgets.sa_iterations
+
+    def test_geometric_mean_ratio(self):
+        rows = [{"a": 2.0, "b": 1.0}, {"a": 4.0, "b": 2.0}]
+        assert geometric_mean_ratio(rows, "a", "b") == pytest.approx(2.0)
+
+    def test_format_table_renders(self):
+        text = format_table(["x", "y"], [["a", 1.234]], title="T")
+        assert "T" in text
+        assert "1.23" in text
+
+    def test_pareto_front(self):
+        points = [
+            {"area": 1.0, "hpwl": 5.0},
+            {"area": 2.0, "hpwl": 3.0},
+            {"area": 3.0, "hpwl": 4.0},  # dominated
+            {"area": 4.0, "hpwl": 1.0},
+        ]
+        front = pareto_front(points)
+        assert [(p["area"], p["hpwl"]) for p in front] == [
+            (1.0, 5.0), (2.0, 3.0), (4.0, 1.0)]
+
+
+class TestDrivers:
+    def test_table3_quick_subset(self):
+        rows = run_table3(quick=True, circuits=("Adder", "CC-OTA"))
+        assert len(rows) == 2
+        ratios = table3_ratios(rows)
+        assert all(np.isfinite(v) for v in ratios.values())
+        text = format_table3(rows)
+        assert "Adder" in text
+        assert "Avg.(X)" in text
+
+    def test_formatters_handle_driver_rows(self):
+        rows1 = [{"design": "X", "area_soft": 1.0, "area_hard": 2.0,
+                  "hpwl_soft": 3.0, "hpwl_hard": 4.0,
+                  "runtime_soft": 0.1, "runtime_hard": 0.2}]
+        assert "X" in format_table1(rows1)
+        rows2 = [{"design": "X", "gp_area_with": 10.0,
+                  "gp_area_without": 12.0, "area_with": 9.0,
+                  "area_without": 9.5, "hpwl_with": 5.0,
+                  "hpwl_without": 6.0}]
+        assert "20.0" in format_fig2(rows2)  # 20% GP growth column
+        rows4 = [{"design": "X", "area_lp": 1.0, "hpwl_lp": 2.0,
+                  "runtime_lp": 0.1, "area_ilp": 1.0,
+                  "hpwl_ilp": 1.5, "runtime_ilp": 0.2}]
+        assert "X" in format_table4(rows4)
+        pts = [{"method": "m", "area": 1.0, "hpwl": 2.0}]
+        assert "m" in format_fig5(pts)

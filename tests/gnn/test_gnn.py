@@ -1,0 +1,166 @@
+"""GNN model, features, dataset and training tests."""
+
+import numpy as np
+import pytest
+
+from repro.gnn import (
+    NUM_FEATURES,
+    FeatureEncoder,
+    GNNModel,
+    PerformanceModel,
+    generate_dataset,
+)
+from repro.gnn.dataset import _random_packing, augment_dataset
+from repro.placement import Placement
+
+
+@pytest.fixture(scope="module")
+def seed_placement():
+    from repro.api import place
+    from repro.circuits import cc_ota
+
+    return place(cc_ota(), "eplace-a").placement
+
+
+class TestFeatureEncoder:
+    def test_shapes(self, cc_ota_circuit, rng):
+        enc = FeatureEncoder(cc_ota_circuit)
+        n = cc_ota_circuit.num_devices
+        feats = enc.encode_xy(rng.uniform(0, 8, n), rng.uniform(0, 8, n))
+        assert feats.shape == (n, NUM_FEATURES)
+        assert enc.a_hat.shape == (n, n)
+
+    def test_a_hat_symmetric(self, cc_ota_circuit):
+        enc = FeatureEncoder(cc_ota_circuit)
+        assert np.allclose(enc.a_hat, enc.a_hat.T)
+
+    def test_flip_awareness(self, cc_ota_circuit, rng):
+        enc = FeatureEncoder(cc_ota_circuit)
+        n = cc_ota_circuit.num_devices
+        x = rng.uniform(0, 8, n)
+        y = rng.uniform(0, 8, n)
+        flips = np.zeros(n, dtype=bool)
+        flips[0] = True
+        plain = enc.encode_xy(x, y)
+        flipped = enc.encode_xy(x, y, flips, np.zeros(n, dtype=bool))
+        assert not np.allclose(plain, flipped)
+
+    def test_position_gradient_exact(self, cc_ota_circuit, rng):
+        model = PerformanceModel(cc_ota_circuit, hidden=8, seed=1,
+                                 ensemble=1)
+        n = cc_ota_circuit.num_devices
+        x = rng.uniform(0, 8, n)
+        y = rng.uniform(0, 8, n)
+        _, gx, gy = model.phi_and_grad(x, y)
+        eps = 1e-6
+        for i in (0, n // 2, n - 1):
+            bump = np.zeros(n)
+            bump[i] = eps
+            num_x = (model.phi(x + bump, y) - model.phi(x - bump, y)) \
+                / (2 * eps)
+            num_y = (model.phi(x, y + bump) - model.phi(x, y - bump)) \
+                / (2 * eps)
+            assert gx[i] == pytest.approx(num_x, rel=1e-4, abs=1e-10)
+            assert gy[i] == pytest.approx(num_y, rel=1e-4, abs=1e-10)
+
+
+class TestGNNModel:
+    def test_forward_in_unit_interval(self, cc_ota_circuit, rng):
+        enc = FeatureEncoder(cc_ota_circuit)
+        model = GNNModel(NUM_FEATURES, hidden=8, seed=0)
+        n = cc_ota_circuit.num_devices
+        feats = enc.encode_xy(rng.uniform(0, 8, n),
+                              rng.uniform(0, 8, n))
+        phi = model.predict(enc.a_hat, feats)
+        assert 0.0 < phi < 1.0
+
+    def test_parameter_roundtrip(self):
+        a = GNNModel(NUM_FEATURES, hidden=8, seed=0)
+        b = GNNModel(NUM_FEATURES, hidden=8, seed=99)
+        b.set_parameters(a.parameters())
+        assert np.allclose(a.w1, b.w1)
+        assert a.b3 == b.b3
+
+    def test_loss_gradient_descends(self, cc_ota_circuit, rng):
+        """A few SGD steps on one sample reduce its loss."""
+        enc = FeatureEncoder(cc_ota_circuit)
+        model = GNNModel(NUM_FEATURES, hidden=8, seed=0)
+        n = cc_ota_circuit.num_devices
+        feats = enc.encode_xy(rng.uniform(0, 8, n),
+                              rng.uniform(0, 8, n))
+        first_loss = None
+        for _ in range(30):
+            cache = model.forward(enc.a_hat, feats)
+            loss, grads = model.loss_gradients(cache, 1.0)
+            if first_loss is None:
+                first_loss = loss
+            params = model.parameters()
+            model.set_parameters({
+                k: params[k] - 0.05 * grads[k] for k in params
+            })
+        cache = model.forward(enc.a_hat, feats)
+        final_loss, _ = model.loss_gradients(cache, 1.0)
+        assert final_loss < first_loss
+
+
+class TestDataset:
+    def test_generate_shapes_and_labels(self, seed_placement):
+        ds = generate_dataset(seed_placement, samples=48, seed=1)
+        assert len(ds) == 48
+        n = seed_placement.circuit.num_devices
+        assert ds.positions.shape == (48, n, 2)
+        assert ds.flips.shape == (48, n, 2)
+        assert np.all((0.0 <= ds.labels) & (ds.labels <= 1.0))
+        assert set(np.unique(ds.labels_hard)) <= {0, 1}
+
+    def test_soft_labels_monotone_in_fom(self, seed_placement):
+        ds = generate_dataset(seed_placement, samples=48, seed=1)
+        order = np.argsort(ds.foms)
+        assert np.all(np.diff(ds.labels[order]) <= 1e-12)
+
+    def test_threshold_quantile(self, seed_placement):
+        ds = generate_dataset(seed_placement, samples=64, seed=2,
+                              threshold_quantile=0.5)
+        below = (ds.foms < ds.threshold).mean()
+        assert 0.3 < below < 0.7
+
+    def test_augment_appends(self, seed_placement):
+        ds = generate_dataset(seed_placement, samples=24, seed=1)
+        rng = np.random.default_rng(0)
+        extras = [_random_packing(seed_placement.circuit, rng)
+                  for _ in range(5)]
+        bigger = augment_dataset(ds, extras)
+        assert len(bigger) == 29
+        assert bigger.threshold == ds.threshold
+
+    def test_random_packing_is_legal(self, seed_placement, rng):
+        from repro.placement import total_overlap
+
+        p = _random_packing(seed_placement.circuit, rng)
+        assert total_overlap(p) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestTraining:
+    def test_training_learns(self, seed_placement):
+        ds = generate_dataset(seed_placement, samples=120, seed=3)
+        model = PerformanceModel(seed_placement.circuit, hidden=8,
+                                 seed=0, ensemble=1)
+        report = model.train(ds, epochs=25, seed=0)
+        assert report.train_accuracy > 0.7
+        assert report.final_loss < report.history[0]
+
+    def test_trust_mapping(self, cc_ota_circuit):
+        model = PerformanceModel(cc_ota_circuit, ensemble=1)
+        model.validation_corr = -0.95
+        assert model.trust == 1.0
+        model.validation_corr = -0.6
+        assert model.trust == 0.0
+        model.validation_corr = -0.75
+        assert 0.0 < model.trust < 1.0
+
+    def test_rejects_foreign_dataset(self, seed_placement,
+                                     comp1_circuit):
+        ds = generate_dataset(seed_placement, samples=16, seed=1)
+        model = PerformanceModel(comp1_circuit, ensemble=1)
+        with pytest.raises(ValueError, match="different circuit"):
+            model.train(ds, epochs=1)

@@ -1,0 +1,89 @@
+"""End-to-end integration tests across the whole library."""
+
+import pytest
+
+from repro import METHODS, place
+from repro.annealing import SAParams
+from repro.circuits import PAPER_TESTCASES, make
+from repro.eplace import EPlaceParams
+from repro.legalize import DetailedParams
+from repro.placement import audit_constraints, total_overlap
+from repro.simulate import fom, simulate
+
+
+QUICK_GP = EPlaceParams(max_iters=120, min_iters=20, bins=16)
+QUICK_DP = DetailedParams(iterate_rounds=1, refine_rounds=0)
+
+
+@pytest.mark.parametrize("name", PAPER_TESTCASES)
+def test_eplace_a_on_every_testcase(name):
+    """ePlace-A produces a legal, constraint-exact, simulatable layout
+    on all ten paper circuits."""
+    result = place(make(name), "eplace-a", gp_params=QUICK_GP,
+                   dp_params=QUICK_DP)
+    assert total_overlap(result.placement) == pytest.approx(0.0)
+    assert audit_constraints(result.placement).ok
+    value = fom(result.placement)
+    assert 0.3 < value <= 1.0
+    assert result.runtime_s < 120.0
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_every_method_runs_cc_ota(method):
+    kwargs = {}
+    if method == "eplace-a":
+        kwargs = {"gp_params": QUICK_GP, "dp_params": QUICK_DP}
+    elif method == "annealing":
+        kwargs = {"params": SAParams(iterations=1500, seed=2)}
+    result = place(make("CC-OTA"), method, **kwargs)
+    assert total_overlap(result.placement) == pytest.approx(0.0,
+                                                            abs=1e-6)
+    assert audit_constraints(result.placement, tolerance=1e-5).ok
+
+
+def test_unknown_method_rejected():
+    with pytest.raises(ValueError, match="unknown method"):
+        place(make("Adder"), "quantum")
+
+
+def test_results_reproducible_across_calls():
+    a = place(make("Comp1"), "eplace-a", gp_params=QUICK_GP,
+              dp_params=QUICK_DP)
+    b = place(make("Comp1"), "eplace-a", gp_params=QUICK_GP,
+              dp_params=QUICK_DP)
+    assert a.metrics()["hpwl"] == pytest.approx(b.metrics()["hpwl"])
+    assert a.metrics()["area"] == pytest.approx(b.metrics()["area"])
+
+
+def test_adder_methods_agree():
+    """Paper Table III: the trivial Adder converges to (nearly) the
+    same solution under every method."""
+    sa = place(make("Adder"), "annealing",
+               params=SAParams(iterations=6000, seed=3))
+    ep = place(make("Adder"), "eplace-a")
+    assert ep.metrics()["area"] == pytest.approx(
+        sa.metrics()["area"], rel=0.25)
+
+
+def test_simulation_consistent_with_fom():
+    result = place(make("VGA"), "eplace-a", gp_params=QUICK_GP,
+                   dp_params=QUICK_DP)
+    metrics = simulate(result.placement)
+    spec = result.placement.circuit.metadata["spec"]
+    assert fom(result.placement) == pytest.approx(spec.fom(metrics))
+
+
+def test_experiment_drivers_quick_smoke():
+    """Table I / Fig. 2 / Table IV drivers run end to end in quick mode."""
+    from repro.experiments import (
+        run_fig2,
+        run_table1,
+        run_table4,
+    )
+
+    t1 = run_table1(quick=True)
+    assert len(t1) == 3
+    f2 = run_fig2(quick=True)
+    assert all("area_with" in row for row in f2)
+    t4 = run_table4(quick=True)
+    assert all(row["hpwl_ilp"] <= row["hpwl_lp"] + 1e-6 for row in t4)

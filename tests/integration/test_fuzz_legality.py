@@ -1,0 +1,79 @@
+"""Property-based end-to-end legality fuzzing on random circuits.
+
+The ten paper testcases are hand-built; these properties check the
+placers' *contracts* — legal, constraint-exact layouts — on randomly
+generated constrained circuits, the strongest guard against
+formulation bugs in the ILP/LP/SA machinery.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.annealing import SAParams, anneal_place
+from repro.circuits import random_circuit
+from repro.eplace import EPlaceParams, eplace_global
+from repro.legalize import (
+    DetailedParams,
+    ilp_detailed_placement,
+    lp_two_stage_detailed_placement,
+)
+from repro.placement import audit_constraints, total_overlap
+
+_FAST_GP = EPlaceParams(max_iters=60, min_iters=15, bins=12)
+_FAST_DP = DetailedParams(iterate_rounds=1, refine_rounds=0,
+                          time_limit_s=30.0)
+
+_slow = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@_slow
+@given(seed=st.integers(0, 10_000))
+def test_property_ilp_flow_always_legal(seed):
+    """GP + ILP detailed placement is legal and constraint-exact on any
+    random constrained circuit."""
+    circuit = random_circuit(seed, max_devices=16)
+    gp = eplace_global(circuit, _FAST_GP)
+    dp = ilp_detailed_placement(gp.placement, _FAST_DP)
+    assert total_overlap(dp.placement) == pytest.approx(0.0, abs=1e-9)
+    audit = audit_constraints(dp.placement)
+    assert audit.ok, audit.violations
+
+
+@_slow
+@given(seed=st.integers(0, 10_000))
+def test_property_lp_flow_always_legal(seed):
+    """The two-stage LP detailed placement holds the same contract."""
+    circuit = random_circuit(seed, max_devices=16)
+    gp = eplace_global(circuit, _FAST_GP)
+    dp = lp_two_stage_detailed_placement(
+        gp.placement, DetailedParams(allow_flipping=False))
+    assert total_overlap(dp.placement) == pytest.approx(0.0, abs=1e-6)
+    audit = audit_constraints(dp.placement, tolerance=1e-5)
+    assert audit.ok, audit.violations
+
+
+@_slow
+@given(seed=st.integers(0, 10_000))
+def test_property_sa_always_legal(seed):
+    """SA (islands + fusion + chain filtering) holds the contract."""
+    circuit = random_circuit(seed, max_devices=16)
+    result = anneal_place(circuit, SAParams(iterations=400, seed=1))
+    assert total_overlap(result.placement) == pytest.approx(0.0,
+                                                            abs=1e-9)
+    audit = audit_constraints(result.placement)
+    assert audit.ok, audit.violations
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_property_random_circuits_valid(seed):
+    """The generator itself always yields validating circuits."""
+    circuit = random_circuit(seed)
+    circuit.validate()
+    assert circuit.num_devices >= 6
+    assert all(net.degree >= 2 for net in circuit.nets)

@@ -1,0 +1,128 @@
+"""ILP and two-stage-LP detailed placement tests."""
+
+import numpy as np
+import pytest
+
+from repro.eplace import eplace_global
+from repro.legalize import (
+    DetailedParams,
+    detailed_place,
+    ilp_detailed_placement,
+    lp_two_stage_detailed_placement,
+    presymmetrize,
+)
+from repro.placement import (
+    Placement,
+    audit_constraints,
+    hpwl,
+    total_overlap,
+)
+
+
+@pytest.fixture(scope="module")
+def ccota_gp():
+    """One shared global placement for the module's DP tests."""
+    from repro.circuits import cc_ota
+    from repro.eplace import EPlaceParams
+
+    circuit = cc_ota()
+    result = eplace_global(
+        circuit, EPlaceParams(max_iters=150, min_iters=30, bins=16))
+    return result.placement
+
+
+class TestILP:
+    def test_legal_and_constraint_exact(self, ccota_gp, fast_dp_params):
+        result = ilp_detailed_placement(ccota_gp, fast_dp_params)
+        assert total_overlap(result.placement) == pytest.approx(0.0)
+        assert audit_constraints(result.placement).ok
+
+    def test_grid_alignment(self, ccota_gp, fast_dp_params):
+        result = ilp_detailed_placement(ccota_gp, fast_dp_params)
+        grid = fast_dp_params.grid
+        # centres land on the grid after normalisation
+        offsets_x = result.placement.x / grid
+        offsets_y = result.placement.y / grid
+        assert np.allclose(offsets_x, np.round(offsets_x), atol=1e-6)
+        assert np.allclose(offsets_y, np.round(offsets_y), atol=1e-6)
+
+    def test_flipping_improves_or_ties_hpwl(self, ccota_gp):
+        with_flip = ilp_detailed_placement(
+            ccota_gp, DetailedParams(allow_flipping=True,
+                                     iterate_rounds=1, refine_rounds=0))
+        without = ilp_detailed_placement(
+            ccota_gp, DetailedParams(allow_flipping=False,
+                                     iterate_rounds=1, refine_rounds=0))
+        assert hpwl(with_flip.placement) <= hpwl(without.placement) + 1e-6
+
+    def test_detailed_place_pipeline_improves_score(self, ccota_gp):
+        single = ilp_detailed_placement(
+            ccota_gp, DetailedParams(iterate_rounds=1, refine_rounds=0))
+        refined = detailed_place(
+            ccota_gp, DetailedParams(iterate_rounds=3, refine_rounds=4))
+        from repro.legalize.ilp import _score
+        params = DetailedParams()
+        assert _score(refined.placement, params) <= \
+            _score(single.placement, params) + 1e-6
+        assert audit_constraints(refined.placement).ok
+
+    def test_displacement_anchor_stays_close(self, ccota_gp):
+        anchored = ilp_detailed_placement(
+            ccota_gp, DetailedParams(displacement_weight=5.0,
+                                     iterate_rounds=1, refine_rounds=0))
+        free = ilp_detailed_placement(
+            ccota_gp, DetailedParams(iterate_rounds=1, refine_rounds=0))
+        ref = presymmetrize(ccota_gp)
+
+        def disp(p):
+            # compare modulo the normalising translation
+            dx = p.x - ref.x
+            dy = p.y - ref.y
+            return float(np.abs(dx - dx.mean()).sum()
+                         + np.abs(dy - dy.mean()).sum())
+
+        assert disp(anchored.placement) <= disp(free.placement) + 1e-6
+
+    def test_stats_populated(self, ccota_gp, fast_dp_params):
+        result = ilp_detailed_placement(ccota_gp, fast_dp_params)
+        for key in ("objective", "num_vars", "num_rows", "outline_w",
+                    "outline_h"):
+            assert key in result.stats
+
+
+class TestLPTwoStage:
+    def test_legal_and_constraint_exact(self, ccota_gp):
+        result = lp_two_stage_detailed_placement(ccota_gp)
+        assert total_overlap(result.placement) == pytest.approx(
+            0.0, abs=1e-6)
+        assert audit_constraints(result.placement, tolerance=1e-5).ok
+
+    def test_stage1_outline_respected(self, ccota_gp):
+        result = lp_two_stage_detailed_placement(ccota_gp)
+        xlo, ylo, xhi, yhi = result.placement.bounding_box()
+        assert xhi - xlo <= result.stats["outline_w"] + 1e-6
+        assert yhi - ylo <= result.stats["outline_h"] + 1e-6
+
+    def test_ilp_with_flipping_beats_lp_hpwl(self, ccota_gp):
+        """The paper's Table IV comparison, on one circuit."""
+        lp = lp_two_stage_detailed_placement(ccota_gp)
+        ilp = detailed_place(
+            ccota_gp, DetailedParams(iterate_rounds=1, refine_rounds=0))
+        assert hpwl(ilp.placement) <= hpwl(lp.placement) + 1e-6
+
+
+class TestPresymmetrize:
+    def test_snaps_to_exact_symmetry(self, cc_ota_circuit, rng):
+        n = cc_ota_circuit.num_devices
+        p = Placement(cc_ota_circuit, rng.uniform(0, 10, n),
+                      rng.uniform(0, 10, n))
+        snapped = presymmetrize(p)
+        audit = audit_constraints(snapped)
+        assert audit.symmetry == pytest.approx(0.0, abs=1e-9)
+        assert audit.alignment == pytest.approx(0.0, abs=1e-9)
+
+    def test_already_symmetric_unchanged(self, ccota_gp, fast_dp_params):
+        legal = ilp_detailed_placement(ccota_gp, fast_dp_params).placement
+        snapped = presymmetrize(legal)
+        assert np.allclose(snapped.x, legal.x)
+        assert np.allclose(snapped.y, legal.y)

@@ -1,0 +1,83 @@
+"""Two-stage LP internals and edge-case tests."""
+
+import numpy as np
+import pytest
+
+from repro.legalize import (
+    DetailedParams,
+    DetailedPlacementError,
+    lp_two_stage_detailed_placement,
+)
+from repro.legalize.lp_twostage import _LPModel
+from repro.netlist import Circuit, Device, DeviceType, Net
+from repro.placement import Placement, total_overlap
+
+
+def _two_device_circuit():
+    c = Circuit("c")
+    c.add_device(Device("A", DeviceType.NMOS, 2.0, 2.0))
+    c.add_device(Device("B", DeviceType.NMOS, 2.0, 2.0))
+    c.add_net(Net("n", ["A", "B"]))
+    return c
+
+
+def test_model_variable_layout(cc_ota_circuit):
+    placement = Placement.zeros(cc_ota_circuit)
+    placement.x += 5.0
+    placement.y += 5.0
+    model = _LPModel(placement, DetailedParams(allow_flipping=False))
+    n = cc_ota_circuit.num_devices
+    e = len(model.wire_nets)
+    groups = len(cc_ota_circuit.constraints.symmetry_groups)
+    assert model.num_vars == 2 * n + 4 * e + 2 + groups
+
+
+def test_two_device_compaction():
+    """Two overlapping devices compact to an abutted pair."""
+    c = _two_device_circuit()
+    p = Placement(c, np.array([5.0, 5.5]), np.array([5.0, 5.2]))
+    result = lp_two_stage_detailed_placement(p)
+    assert total_overlap(result.placement) == pytest.approx(0.0,
+                                                            abs=1e-9)
+    # stage 1 minimises the outline: devices abut
+    xlo, ylo, xhi, yhi = result.placement.bounding_box()
+    assert (xhi - xlo) * (yhi - ylo) == pytest.approx(8.0, rel=1e-6)
+
+
+def test_stage2_shrinks_wirelength_within_outline():
+    """Stage 2 pulls pins together without growing stage 1's outline."""
+    c = Circuit("c")
+    for name in ("A", "B", "C"):
+        c.add_device(Device(name, DeviceType.NMOS, 2.0, 2.0))
+    c.add_net(Net("n", ["A", "C"]))
+    p = Placement(c, np.array([0.0, 10.0, 20.0]),
+                  np.array([1.0, 1.0, 1.0]))
+    result = lp_two_stage_detailed_placement(p)
+    from repro.placement import hpwl
+
+    assert hpwl(result.placement) <= hpwl(p) + 1e-6
+    assert total_overlap(result.placement) == pytest.approx(0.0,
+                                                            abs=1e-9)
+
+
+def test_runtime_stats(cc_ota_circuit, rng):
+    n = cc_ota_circuit.num_devices
+    p = Placement(cc_ota_circuit, rng.uniform(2, 8, n),
+                  rng.uniform(2, 8, n))
+    result = lp_two_stage_detailed_placement(p)
+    assert result.method == "lp2-dp"
+    assert result.stats["outline_w"] > 0
+    assert result.stats["num_rows"] > 0
+
+
+def test_odd_grid_dimension_rejected_by_ilp():
+    """The ILP needs even grid dims; the error names the device."""
+    from repro.legalize import ilp_detailed_placement
+
+    c = Circuit("c")
+    c.add_device(Device("ODD", DeviceType.NMOS, 2.1, 2.0))
+    c.add_device(Device("B", DeviceType.NMOS, 2.0, 2.0))
+    c.add_net(Net("n", ["ODD", "B"]))
+    p = Placement(c, np.array([1.0, 4.0]), np.array([1.0, 1.0]))
+    with pytest.raises(DetailedPlacementError, match="ODD"):
+        ilp_detailed_placement(p)

@@ -1,0 +1,106 @@
+"""Separation-direction derivation tests (paper Fig. 4a rule)."""
+
+import numpy as np
+
+from repro.legalize import HORIZONTAL, VERTICAL, separation_constraints
+from repro.netlist import (
+    AlignmentPair,
+    Axis,
+    Circuit,
+    Device,
+    DeviceType,
+    OrderingChain,
+    SymmetryGroup,
+)
+from repro.placement import Placement
+
+
+def _pair_circuit(constraints=None):
+    c = Circuit("c")
+    for name in ("A", "B", "C"):
+        c.add_device(Device(name, DeviceType.NMOS, 2.0, 2.0))
+    if constraints:
+        constraints(c)
+    return c
+
+
+def _find(seps, i, j):
+    for sep in seps:
+        if {sep.low, sep.high} == {i, j}:
+            return sep
+    raise AssertionError(f"no constraint for pair ({i}, {j})")
+
+
+def test_overlap_smaller_penetration_axis_wins():
+    """Overlapping with dx < dy separates horizontally (paper rule)."""
+    c = _pair_circuit()
+    p = Placement(c, np.array([0.0, 1.5, 10.0]),
+                  np.array([0.0, 0.5, 10.0]))
+    sep = _find(separation_constraints(p), 0, 1)
+    # dx = 0.5, dy = 1.5 -> gap_x (-0.5) > gap_y (-1.5): horizontal
+    assert sep.direction == HORIZONTAL
+    assert (sep.low, sep.high) == (0, 1)
+
+
+def test_disjoint_larger_gap_axis_wins():
+    c = _pair_circuit()
+    p = Placement(c, np.array([0.0, 10.0, 20.0]),
+                  np.array([0.0, 3.0, 20.0]))
+    sep = _find(separation_constraints(p), 0, 1)
+    assert sep.direction == HORIZONTAL  # x-gap 8 > y-gap 1
+
+
+def test_vertical_when_y_gap_larger():
+    c = _pair_circuit()
+    p = Placement(c, np.array([0.0, 1.0, 20.0]),
+                  np.array([0.0, 10.0, 20.0]))
+    sep = _find(separation_constraints(p), 0, 1)
+    assert sep.direction == VERTICAL
+    assert (sep.low, sep.high) == (0, 1)
+
+
+def test_every_pair_constrained():
+    c = _pair_circuit()
+    p = Placement(c, np.array([0.0, 5.0, 10.0]),
+                  np.array([0.0, 5.0, 10.0]))
+    assert len(separation_constraints(p)) == 3
+
+
+def test_symmetry_pair_forced_horizontal():
+    def add(c):
+        c.constraints.symmetry_groups.append(
+            SymmetryGroup("g", pairs=(("A", "B"),)))
+
+    c = _pair_circuit(add)
+    # geometrically they'd separate vertically, but symmetry wins
+    p = Placement(c, np.array([0.0, 0.5, 10.0]),
+                  np.array([0.0, 8.0, 10.0]))
+    sep = _find(separation_constraints(p), 0, 1)
+    assert sep.direction == HORIZONTAL
+
+
+def test_vcenter_alignment_forced_vertical():
+    def add(c):
+        c.constraints.alignments.append(AlignmentPair("A", "B", "vcenter"))
+
+    c = _pair_circuit(add)
+    p = Placement(c, np.array([0.0, 8.0, 20.0]),
+                  np.array([0.0, 0.5, 20.0]))
+    sep = _find(separation_constraints(p), 0, 1)
+    assert sep.direction == VERTICAL
+
+
+def test_ordering_chain_forces_order_even_against_geometry():
+    def add(c):
+        c.constraints.orderings.append(
+            OrderingChain(("A", "B", "C"), axis=Axis.VERTICAL))
+
+    c = _pair_circuit(add)
+    # place them geometrically in reverse order
+    p = Placement(c, np.array([10.0, 5.0, 0.0]),
+                  np.array([0.0, 0.0, 0.0]))
+    seps = separation_constraints(p)
+    for left, right in ((0, 1), (1, 2), (0, 2)):
+        sep = _find(seps, left, right)
+        assert sep.direction == HORIZONTAL
+        assert (sep.low, sep.high) == (left, right)

@@ -1,0 +1,136 @@
+"""Circuit container unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import (
+    Circuit,
+    CircuitError,
+    Device,
+    DeviceType,
+    Net,
+    SymmetryGroup,
+)
+
+
+def _mos(name, w=2.0, h=2.0):
+    return Device(name, DeviceType.NMOS, width=w, height=h)
+
+
+def test_duplicate_device_rejected():
+    c = Circuit("c")
+    c.add_device(_mos("A"))
+    with pytest.raises(CircuitError, match="duplicate device"):
+        c.add_device(_mos("A"))
+
+
+def test_duplicate_net_rejected():
+    c = Circuit("c")
+    c.add_device(_mos("A"))
+    c.add_net(Net("n", ["A"]))
+    with pytest.raises(CircuitError, match="duplicate net"):
+        c.add_net(Net("n", ["A"]))
+
+
+def test_validate_unknown_device_in_net():
+    c = Circuit("c")
+    c.add_device(_mos("A"))
+    c.add_net(Net("n", ["A", "B"]))
+    with pytest.raises(CircuitError, match="unknown device 'B'"):
+        c.validate()
+
+
+def test_validate_unknown_pin():
+    c = Circuit("c")
+    c.add_device(_mos("A"))
+    c.add_net(Net("n", [("A", "nopin")]))
+    with pytest.raises(KeyError, match="no pin"):
+        c.validate()
+
+
+def test_validate_unknown_constraint_device():
+    c = Circuit("c")
+    c.add_device(_mos("A"))
+    c.constraints.symmetry_groups.append(
+        SymmetryGroup("g", pairs=(("A", "Z"),))
+    )
+    with pytest.raises(CircuitError, match="unknown devices"):
+        c.validate()
+
+
+def test_validate_mismatched_pair_dimensions():
+    c = Circuit("c")
+    c.add_device(_mos("A", w=2.0))
+    c.add_device(_mos("B", w=4.0))
+    c.constraints.symmetry_groups.append(
+        SymmetryGroup("g", pairs=(("A", "B"),))
+    )
+    with pytest.raises(CircuitError, match="mismatched"):
+        c.validate()
+
+
+def test_validate_device_in_two_groups():
+    c = Circuit("c")
+    for name in ("A", "B", "C"):
+        c.add_device(_mos(name))
+    c.constraints.symmetry_groups.append(
+        SymmetryGroup("g1", pairs=(("A", "B"),)))
+    c.constraints.symmetry_groups.append(
+        SymmetryGroup("g2", pairs=(("A", "C"),)))
+    with pytest.raises(CircuitError, match="more than one"):
+        c.validate()
+
+
+def test_empty_circuit_invalid():
+    with pytest.raises(CircuitError, match="no devices"):
+        Circuit("c").validate()
+
+
+def test_index_and_sizes(tiny_circuit):
+    assert tiny_circuit.index_of("C") == 2
+    widths, heights = tiny_circuit.sizes()
+    assert widths.tolist() == [2.0, 2.0, 4.0, 2.0]
+    assert heights.tolist() == [2.0, 2.0, 2.0, 4.0]
+    assert tiny_circuit.total_device_area() == pytest.approx(24.0)
+
+
+def test_index_of_unknown():
+    c = Circuit("c")
+    c.add_device(_mos("A"))
+    with pytest.raises(CircuitError, match="no device"):
+        c.index_of("Z")
+
+
+def test_net_pin_arrays_offsets_from_centre(tiny_circuit):
+    arrays = tiny_circuit.net_pin_arrays()
+    idx, offx, offy = arrays[0]  # net n1: A.p, C.p
+    assert idx.tolist() == [0, 2]
+    # A.p at (0.4, 1.0) of a 2x2 device -> centre offset (-0.6, 0.0)
+    assert offx[0] == pytest.approx(-0.6)
+    assert offy[0] == pytest.approx(0.0)
+
+
+def test_to_graph_clique_weights(tiny_circuit):
+    g = tiny_circuit.to_graph()
+    assert g.number_of_nodes() == 4
+    # n2 (weight 2, degree 3) contributes 2*2/3 to each pair
+    assert g["B"]["C"]["weight"] == pytest.approx(4.0 / 3.0)
+    assert g["C"]["D"]["weight"] == pytest.approx(4.0 / 3.0)
+    # n1 (weight 1, degree 2) contributes 1.0
+    assert g["A"]["C"]["weight"] == pytest.approx(1.0)
+
+
+def test_parallel_nets_accumulate_graph_weight():
+    c = Circuit("c")
+    c.add_device(_mos("A"))
+    c.add_device(_mos("B"))
+    c.add_net(Net("n1", ["A", "B"]))
+    c.add_net(Net("n2", ["A", "B"]))
+    g = c.to_graph()
+    assert g["A"]["B"]["weight"] == pytest.approx(2.0)
+
+
+def test_repr_mentions_counts(tiny_circuit):
+    text = repr(tiny_circuit)
+    assert "devices=4" in text
+    assert "nets=2" in text

@@ -1,0 +1,78 @@
+"""Constraint model unit tests."""
+
+import pytest
+
+from repro.netlist import (
+    AlignmentPair,
+    Axis,
+    ConstraintSet,
+    OrderingChain,
+    SymmetryGroup,
+)
+
+
+class TestSymmetryGroup:
+    def test_devices_flattened(self):
+        g = SymmetryGroup("g", pairs=(("A", "B"), ("C", "D")),
+                          self_symmetric=("E",))
+        assert g.devices == ("A", "B", "C", "D", "E")
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            SymmetryGroup("g")
+
+    def test_self_pair_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            SymmetryGroup("g", pairs=(("A", "A"),))
+
+    def test_duplicate_device_rejected(self):
+        with pytest.raises(ValueError, match="twice"):
+            SymmetryGroup("g", pairs=(("A", "B"),),
+                          self_symmetric=("A",))
+
+    def test_default_axis_vertical(self):
+        g = SymmetryGroup("g", pairs=(("A", "B"),))
+        assert g.axis is Axis.VERTICAL
+
+
+class TestAlignmentPair:
+    def test_kinds(self):
+        for kind in ("bottom", "vcenter", "hcenter"):
+            AlignmentPair("A", "B", kind)
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError, match="alignment kind"):
+            AlignmentPair("A", "B", "top")
+
+    def test_same_device_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            AlignmentPair("A", "A")
+
+
+class TestOrderingChain:
+    def test_pairs(self):
+        chain = OrderingChain(("A", "B", "C"))
+        assert chain.pairs == (("A", "B"), ("B", "C"))
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError, match="at least two"):
+            OrderingChain(("A",))
+
+    def test_repeat_rejected(self):
+        with pytest.raises(ValueError, match="repeats"):
+            OrderingChain(("A", "B", "A"))
+
+
+class TestConstraintSet:
+    def test_constrained_devices(self):
+        cs = ConstraintSet(
+            symmetry_groups=[SymmetryGroup("g", pairs=(("A", "B"),))],
+            alignments=[AlignmentPair("C", "D")],
+            orderings=[OrderingChain(("E", "F"))],
+        )
+        assert cs.constrained_devices() == {"A", "B", "C", "D", "E", "F"}
+
+    def test_is_empty(self):
+        assert ConstraintSet().is_empty()
+        cs = ConstraintSet(alignments=[AlignmentPair("A", "B")])
+        assert not cs.is_empty()

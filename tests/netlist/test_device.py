@@ -1,0 +1,60 @@
+"""Device model unit tests."""
+
+import pytest
+
+from repro.netlist import Device, DeviceType, Pin
+
+
+def test_default_centre_pin():
+    d = Device("m", DeviceType.NMOS, width=2.0, height=4.0)
+    pin = d.pin("c")
+    assert pin.offset_x == pytest.approx(1.0)
+    assert pin.offset_y == pytest.approx(2.0)
+
+
+def test_area():
+    d = Device("m", DeviceType.PMOS, width=2.5, height=4.0)
+    assert d.area == pytest.approx(10.0)
+
+
+def test_rejects_nonpositive_dimensions():
+    with pytest.raises(ValueError, match="dimensions must be positive"):
+        Device("m", DeviceType.NMOS, width=0.0, height=1.0)
+    with pytest.raises(ValueError):
+        Device("m", DeviceType.NMOS, width=1.0, height=-2.0)
+
+
+def test_rejects_pin_outside_rectangle():
+    with pytest.raises(ValueError, match="outside"):
+        Device("m", DeviceType.NMOS, width=2.0, height=2.0,
+               pins={"p": Pin("p", 3.0, 1.0)})
+
+
+def test_unknown_pin_raises_with_context():
+    d = Device("m", DeviceType.NMOS, width=2.0, height=2.0)
+    with pytest.raises(KeyError, match="no pin 'x'"):
+        d.pin("x")
+
+
+def test_pin_offset_flipping():
+    d = Device("m", DeviceType.NMOS, width=4.0, height=2.0,
+               pins={"p": Pin("p", 1.0, 0.5)})
+    assert d.pin_offset("p") == (1.0, 0.5)
+    assert d.pin_offset("p", flip_x=True) == (3.0, 0.5)
+    assert d.pin_offset("p", flip_y=True) == (1.0, 1.5)
+    assert d.pin_offset("p", flip_x=True, flip_y=True) == (3.0, 1.5)
+
+
+def test_double_flip_is_identity():
+    d = Device("m", DeviceType.NMOS, width=4.0, height=2.0,
+               pins={"p": Pin("p", 0.8, 1.7)})
+    ox, oy = d.pin_offset("p")
+    fx, fy = d.pin_offset("p", flip_x=True)
+    fx2 = d.width - fx
+    assert fx2 == pytest.approx(ox)
+    assert fy == pytest.approx(oy)
+
+
+def test_device_type_index_stable():
+    indices = {t.index for t in DeviceType}
+    assert indices == set(range(len(DeviceType)))

@@ -1,0 +1,42 @@
+"""Net model unit tests."""
+
+import pytest
+
+from repro.netlist import Net, Terminal
+
+
+def test_terminal_parsing_forms():
+    net = Net("n", ["A", ("B", "g"), Terminal("C", "d")])
+    assert net.terminals == (
+        Terminal("A", "c"), Terminal("B", "g"), Terminal("C", "d"),
+    )
+
+
+def test_degree_and_devices_dedup():
+    net = Net("n", [("A", "g"), ("A", "d"), ("B", "g")])
+    assert net.degree == 3
+    assert net.devices == ("A", "B")
+
+
+def test_rejects_nonpositive_weight():
+    with pytest.raises(ValueError, match="weight"):
+        Net("n", ["A"], weight=0.0)
+
+
+def test_equality_and_hash():
+    a = Net("n", [("A", "g")], weight=2.0)
+    b = Net("n", [("A", "g")], weight=2.0)
+    c = Net("n", [("A", "d")], weight=2.0)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != c
+
+
+def test_single_terminal_net_allowed():
+    net = Net("io", ["A"])
+    assert net.degree == 1
+
+
+def test_critical_flag():
+    assert Net("n", ["A", "B"], critical=True).critical
+    assert not Net("n", ["A", "B"]).critical

@@ -1,0 +1,69 @@
+"""RC extraction tests."""
+
+import pytest
+
+from repro.api import place
+from repro.parasitics import (
+    C_PER_PIN,
+    C_PER_UM,
+    R_PER_UM,
+    extract,
+    extract_net,
+    critical_length,
+    mismatch_distance,
+)
+from repro.placement import Placement
+
+
+@pytest.fixture(scope="module")
+def placed_ccota():
+    from repro.circuits import cc_ota
+
+    return place(cc_ota(), "eplace-a").placement
+
+
+def test_extract_covers_all_nets(placed_ccota):
+    parasitics = extract(placed_ccota)
+    expected = {n.name for n in placed_ccota.circuit.nets}
+    assert set(parasitics) == expected
+
+
+def test_rc_proportional_to_length(placed_ccota):
+    for net in placed_ccota.circuit.nets:
+        if net.degree < 2:
+            continue
+        p = extract_net(placed_ccota, net)
+        assert p.resistance_ohm == pytest.approx(
+            R_PER_UM * p.length_um)
+        assert p.capacitance_ff == pytest.approx(
+            C_PER_UM * p.length_um + C_PER_PIN * net.degree)
+        assert p.elmore_ps >= 0.0
+
+
+def test_single_pin_net_zero_length(placed_ccota):
+    circuit = placed_ccota.circuit
+    vinp = next(n for n in circuit.nets if n.name == "vinp")
+    p = extract_net(placed_ccota, vinp)
+    assert p.length_um == 0.0
+    assert p.capacitance_ff == pytest.approx(C_PER_PIN)
+
+
+def test_critical_length_subset(placed_ccota):
+    total = sum(
+        extract_net(placed_ccota, n).length_um
+        for n in placed_ccota.circuit.nets if n.degree >= 2
+    )
+    crit = critical_length(placed_ccota)
+    assert 0.0 < crit < total
+
+
+def test_mismatch_zero_for_legal(placed_ccota):
+    assert mismatch_distance(placed_ccota) == pytest.approx(0.0,
+                                                            abs=1e-9)
+
+
+def test_mismatch_positive_for_asymmetric(placed_ccota):
+    broken = placed_ccota.copy()
+    i = broken.circuit.index_of("M1")
+    broken.y[i] += 1.0
+    assert mismatch_distance(broken) > 0.5

@@ -1,0 +1,72 @@
+"""Rectilinear Steiner tree tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parasitics import steiner_tree
+from repro.parasitics.steiner import _prim_tree, _tree_length
+
+
+class TestBasics:
+    def test_single_point(self):
+        tree = steiner_tree(np.array([[1.0, 2.0]]))
+        assert tree.length == 0.0
+        assert tree.edges == ()
+
+    def test_two_points_manhattan(self):
+        tree = steiner_tree(np.array([[0.0, 0.0], [3.0, 4.0]]))
+        assert tree.length == pytest.approx(7.0)
+
+    def test_cross_uses_steiner_point(self):
+        """4 arms of a cross: MST needs 30, RSMT needs 20."""
+        pts = np.array([[0, 5], [10, 5], [5, 0], [5, 10]], dtype=float)
+        mst_len = _tree_length(pts, _prim_tree(pts))
+        tree = steiner_tree(pts)
+        assert mst_len == pytest.approx(30.0)
+        assert tree.length == pytest.approx(20.0)
+        assert len(tree.points) > tree.num_terminals
+
+    def test_collinear_no_steiner_gain(self):
+        pts = np.array([[0.0, 0.0], [5.0, 0.0], [9.0, 0.0]])
+        tree = steiner_tree(pts)
+        assert tree.length == pytest.approx(9.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(
+    st.tuples(st.floats(0, 30), st.floats(0, 30)),
+    min_size=2, max_size=7,
+))
+def test_property_steiner_never_longer_than_mst(points):
+    pts = np.asarray(points, dtype=float)
+    mst_len = _tree_length(pts, _prim_tree(pts))
+    tree = steiner_tree(pts)
+    assert tree.length <= mst_len + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(
+    st.tuples(st.floats(0, 30), st.floats(0, 30)),
+    min_size=2, max_size=7,
+))
+def test_property_steiner_at_least_half_perimeter(points):
+    """HPWL is a lower bound for any rectilinear connection."""
+    pts = np.asarray(points, dtype=float)
+    hpwl = (pts[:, 0].max() - pts[:, 0].min()
+            + pts[:, 1].max() - pts[:, 1].min())
+    tree = steiner_tree(pts)
+    assert tree.length >= hpwl - 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(
+    st.tuples(st.floats(0, 20), st.floats(0, 20)),
+    min_size=2, max_size=6,
+), st.floats(-15, 15), st.floats(-15, 15))
+def test_property_translation_invariant(points, dx, dy):
+    pts = np.asarray(points, dtype=float)
+    moved = pts + np.array([dx, dy])
+    assert steiner_tree(moved).length == pytest.approx(
+        steiner_tree(pts).length, rel=1e-9, abs=1e-9)

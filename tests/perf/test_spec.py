@@ -1,0 +1,93 @@
+"""Performance-spec and FOM unit + property tests (paper eq. 6)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.perf import MetricSpec, PerformanceSpec
+
+
+class TestMetricSpec:
+    def test_higher_is_better_normalisation(self):
+        m = MetricSpec("gain", 25.0, "+")
+        assert m.normalize(25.0) == 1.0
+        assert m.normalize(30.0) == 1.0  # capped
+        assert m.normalize(12.5) == pytest.approx(0.5)
+        assert m.normalize(0.0) == 0.0
+        assert m.normalize(-3.0) == 0.0
+
+    def test_lower_is_better_normalisation(self):
+        m = MetricSpec("delay", 100.0, "-")
+        assert m.normalize(100.0) == 1.0
+        assert m.normalize(50.0) == 1.0  # capped
+        assert m.normalize(200.0) == pytest.approx(0.5)
+        assert m.normalize(0.0) == 1.0  # zero delay is perfect
+
+    def test_invalid_sense(self):
+        with pytest.raises(ValueError, match="sense"):
+            MetricSpec("m", 1.0, "x")
+
+    def test_nonpositive_target(self):
+        with pytest.raises(ValueError, match="positive"):
+            MetricSpec("m", 0.0, "+")
+
+
+class TestPerformanceSpec:
+    def _spec(self):
+        return PerformanceSpec(metrics=(
+            MetricSpec("a", 10.0, "+", weight=3.0),
+            MetricSpec("b", 2.0, "-", weight=1.0),
+        ))
+
+    def test_weights_normalised(self):
+        w = self._spec().weights()
+        assert w["a"] == pytest.approx(0.75)
+        assert w["b"] == pytest.approx(0.25)
+
+    def test_fom_weighted_sum(self):
+        spec = self._spec()
+        # a: 5/10=0.5 ; b: 2/4=0.5
+        assert spec.fom({"a": 5.0, "b": 4.0}) == pytest.approx(0.5)
+
+    def test_fom_perfect(self):
+        spec = self._spec()
+        assert spec.fom({"a": 100.0, "b": 0.1}) == pytest.approx(1.0)
+
+    def test_missing_metric_raises(self):
+        with pytest.raises(KeyError, match="missing"):
+            self._spec().fom({"a": 5.0})
+
+    def test_satisfied(self):
+        spec = self._spec()
+        sat = spec.satisfied({"a": 11.0, "b": 3.0})
+        assert sat == {"a": True, "b": False}
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            PerformanceSpec(metrics=(
+                MetricSpec("a", 1.0), MetricSpec("a", 2.0),
+            ))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            PerformanceSpec(metrics=())
+
+
+@given(st.floats(0.01, 1e6), st.floats(0.01, 1e6))
+def test_property_normalisation_in_unit_interval(target, value):
+    for sense in ("+", "-"):
+        z = MetricSpec("m", target, sense).normalize(value)
+        assert 0.0 <= z <= 1.0
+
+
+@given(
+    st.floats(0.1, 100.0),
+    st.floats(0.1, 100.0),
+    st.floats(min_value=1.001, max_value=4.0),
+)
+def test_property_monotone_improvement(target, value, factor):
+    """Improving a metric never lowers its normalised score."""
+    plus = MetricSpec("m", target, "+")
+    assert plus.normalize(value * factor) >= plus.normalize(value)
+    minus = MetricSpec("m", target, "-")
+    assert minus.normalize(value / factor) >= minus.normalize(value)

@@ -1,0 +1,140 @@
+"""Performance-driven flow tests (small budgets)."""
+
+import pytest
+
+from repro.annealing import SAParams
+from repro.eplace import EPlaceParams
+from repro.gnn import PerformanceModel, train_performance_model
+from repro.legalize import DetailedParams
+from repro.perf_driven import (
+    RefineParams,
+    place_eplace_ap,
+    place_perf_sa,
+    place_perf_xu,
+    place_performance_driven,
+    phi_refine,
+)
+from repro.placement import audit_constraints, total_overlap
+from repro.simulate import fom
+from repro.xu_ispd19 import XuParams
+
+
+@pytest.fixture(scope="module")
+def quick_model():
+    """A small trained model for CC-OTA shared across the module."""
+    from repro.api import place_eplace_a
+    from repro.circuits import cc_ota
+
+    seed = place_eplace_a(cc_ota())
+    model, _ = train_performance_model(
+        seed.placement, samples=160, epochs=20, sa_sweep_runs=4,
+        adversarial_rounds=1)
+    return model
+
+
+@pytest.fixture
+def quick_gp():
+    return EPlaceParams(max_iters=120, min_iters=20, bins=16)
+
+
+class TestEPlaceAP:
+    def test_legal_and_constrained(self, quick_model, quick_gp):
+        from repro.circuits import cc_ota
+
+        result = place_eplace_ap(
+            cc_ota(), quick_model, gp_params=quick_gp, alpha=1.0,
+            refine_params=RefineParams(rounds=1, lns_rounds=1,
+                                       flip_passes=1))
+        assert total_overlap(result.placement) == pytest.approx(0.0)
+        assert audit_constraints(result.placement).ok
+        assert "refine" in result.stats
+
+    def test_model_circuit_mismatch_rejected(self, quick_model):
+        from repro.circuits import comp1
+
+        with pytest.raises(ValueError, match="trained for"):
+            place_eplace_ap(comp1(), quick_model)
+
+
+class TestPerfSA:
+    def test_legal_and_constrained(self, quick_model):
+        from repro.circuits import cc_ota
+
+        result = place_perf_sa(
+            cc_ota(), quick_model,
+            SAParams(iterations=1200, seed=3, perf_weight=2.0))
+        assert total_overlap(result.placement) == pytest.approx(0.0)
+        assert audit_constraints(result.placement).ok
+        assert result.method == "perf-sa"
+
+    def test_requires_positive_perf_weight(self, quick_model):
+        from repro.circuits import cc_ota
+
+        with pytest.raises(ValueError, match="perf_weight"):
+            place_perf_sa(cc_ota(), quick_model,
+                          SAParams(iterations=100, perf_weight=0.0))
+
+
+class TestPerfXu:
+    def test_legal_and_constrained(self, quick_model):
+        from repro.circuits import cc_ota
+
+        result = place_perf_xu(
+            cc_ota(), quick_model,
+            gp_params=XuParams(stages=4, cg_iterations=30), alpha=1.0)
+        assert total_overlap(result.placement) == pytest.approx(
+            0.0, abs=1e-6)
+        assert audit_constraints(result.placement,
+                                 tolerance=1e-5).ok
+
+
+class TestDispatch:
+    def test_unknown_method(self, quick_model):
+        from repro.circuits import cc_ota
+
+        with pytest.raises(ValueError, match="unknown method"):
+            place_performance_driven(cc_ota(), quick_model,
+                                     method="magic")
+
+
+class TestPhiRefine:
+    def test_returns_legal(self, quick_model, quick_gp):
+        from repro.api import place_eplace_a
+        from repro.circuits import cc_ota
+
+        legal = place_eplace_a(
+            cc_ota(), gp_params=quick_gp,
+            dp_params=DetailedParams(iterate_rounds=1,
+                                     refine_rounds=0)).placement
+        refined, stats = phi_refine(
+            legal, quick_model,
+            RefineParams(rounds=1, lns_rounds=2, flip_passes=1))
+        assert total_overlap(refined) == pytest.approx(0.0)
+        assert audit_constraints(refined).ok
+        assert "final_phi" in stats
+
+    def test_low_trust_short_circuits(self, quick_model, quick_gp):
+        from repro.api import place_eplace_a
+        from repro.circuits import cc_ota
+        import numpy as np
+
+        legal = place_eplace_a(
+            cc_ota(), gp_params=quick_gp,
+            dp_params=DetailedParams(iterate_rounds=1,
+                                     refine_rounds=0)).placement
+        saved = quick_model.validation_corr
+        quick_model.validation_corr = -0.1  # fails validation
+        try:
+            refined, stats = phi_refine(legal, quick_model)
+            assert stats.get("skipped_low_trust")
+            assert np.allclose(refined.x, legal.x)
+        finally:
+            quick_model.validation_corr = saved
+
+
+class TestRefineParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RefineParams(step_um=0.0)
+        with pytest.raises(ValueError):
+            RefineParams(steps_per_round=0)

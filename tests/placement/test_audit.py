@@ -1,0 +1,100 @@
+"""Constraint-audit unit tests."""
+
+import pytest
+
+from repro.netlist import (
+    AlignmentPair,
+    Axis,
+    Circuit,
+    Device,
+    DeviceType,
+    OrderingChain,
+    SymmetryGroup,
+)
+from repro.placement import Placement, audit_constraints
+
+
+def _circuit_with_constraints():
+    c = Circuit("c")
+    for name in ("A", "B", "S", "L", "R"):
+        c.add_device(Device(name, DeviceType.NMOS, 2.0, 2.0))
+    c.constraints.symmetry_groups.append(
+        SymmetryGroup("g", pairs=(("A", "B"),), self_symmetric=("S",))
+    )
+    c.constraints.alignments.append(AlignmentPair("L", "R", "bottom"))
+    c.constraints.orderings.append(
+        OrderingChain(("L", "R"), axis=Axis.VERTICAL)
+    )
+    return c
+
+
+def test_perfect_placement_passes():
+    c = _circuit_with_constraints()
+    p = Placement.from_mapping(c, {
+        "A": (0, 0), "B": (6, 0), "S": (3, 4),
+        "L": (0, 8), "R": (6, 8),
+    })
+    audit = audit_constraints(p)
+    assert audit.ok
+    assert audit.worst == pytest.approx(0.0)
+
+
+def test_symmetry_violation_detected():
+    c = _circuit_with_constraints()
+    p = Placement.from_mapping(c, {
+        "A": (0, 0), "B": (6, 1.0), "S": (3, 4),  # y mismatch of 1
+        "L": (0, 8), "R": (6, 8),
+    })
+    audit = audit_constraints(p)
+    assert not audit.ok
+    assert audit.symmetry == pytest.approx(1.0)
+    assert any("cross-coord" in v for v in audit.violations)
+
+
+def test_self_symmetric_off_axis_detected():
+    c = _circuit_with_constraints()
+    p = Placement.from_mapping(c, {
+        "A": (0, 0), "B": (6, 0), "S": (5, 4),  # axis at 3, S at 5
+        "L": (0, 8), "R": (6, 8),
+    })
+    audit = audit_constraints(p)
+    assert not audit.ok
+    assert audit.symmetry > 0.5
+
+
+def test_alignment_violation_detected():
+    c = _circuit_with_constraints()
+    p = Placement.from_mapping(c, {
+        "A": (0, 0), "B": (6, 0), "S": (3, 4),
+        "L": (0, 8), "R": (6, 8.7),
+    })
+    audit = audit_constraints(p)
+    assert audit.alignment == pytest.approx(0.7)
+
+
+def test_ordering_violation_detected():
+    c = _circuit_with_constraints()
+    p = Placement.from_mapping(c, {
+        "A": (0, 0), "B": (6, 0), "S": (3, 4),
+        "L": (6, 8), "R": (0, 8),  # wrong order
+    })
+    audit = audit_constraints(p)
+    assert audit.ordering == pytest.approx(8.0)  # 6+2 gap violation
+
+
+def test_ordering_touching_ok():
+    c = _circuit_with_constraints()
+    p = Placement.from_mapping(c, {
+        "A": (0, 0), "B": (6, 0), "S": (3, 4),
+        "L": (0, 8), "R": (2, 8),  # abutted: edge-to-edge
+    })
+    assert audit_constraints(p).ordering == pytest.approx(0.0)
+
+
+def test_tolerance_suppresses_tiny_violations():
+    c = _circuit_with_constraints()
+    p = Placement.from_mapping(c, {
+        "A": (0, 0), "B": (6, 1e-9), "S": (3, 4),
+        "L": (0, 8), "R": (6, 8),
+    })
+    assert audit_constraints(p, tolerance=1e-6).ok

@@ -1,0 +1,115 @@
+"""Placement serialization and SVG export tests."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.placement import (
+    Placement,
+    load_placement,
+    placement_from_dict,
+    placement_to_dict,
+    placement_to_svg,
+    save_placement,
+)
+
+
+@pytest.fixture
+def sample_placement(tiny_circuit):
+    p = Placement.from_mapping(tiny_circuit, {
+        "A": (1.0, 1.0), "B": (5.0, 1.0), "C": (3.0, 4.0),
+        "D": (8.0, 2.5),
+    })
+    p.flip_x[1] = True
+    return p
+
+
+def test_roundtrip(sample_placement, tiny_circuit, tmp_path):
+    path = tmp_path / "layout.json"
+    save_placement(sample_placement, path)
+    loaded = load_placement(tiny_circuit, path)
+    assert np.allclose(loaded.x, sample_placement.x)
+    assert np.allclose(loaded.y, sample_placement.y)
+    assert loaded.flip_x[1]
+    assert not loaded.flip_x[0]
+
+
+def test_dict_keyed_by_name(sample_placement):
+    data = placement_to_dict(sample_placement)
+    assert data["circuit"] == "tiny"
+    assert data["devices"]["B"]["flip_x"] is True
+    json.dumps(data)  # must be serialisable as-is
+
+
+def test_wrong_circuit_rejected(sample_placement, comp1_circuit):
+    data = placement_to_dict(sample_placement)
+    with pytest.raises(ValueError, match="is for circuit"):
+        placement_from_dict(comp1_circuit, data)
+
+
+def test_missing_device_rejected(sample_placement, tiny_circuit):
+    data = placement_to_dict(sample_placement)
+    del data["devices"]["C"]
+    with pytest.raises(ValueError, match="missing devices"):
+        placement_from_dict(tiny_circuit, data)
+
+
+class TestSVG:
+    def test_contains_every_device(self, sample_placement):
+        svg = placement_to_svg(sample_placement)
+        for name in sample_placement.circuit.device_names:
+            assert f">{name}</text>" in svg
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+
+    def test_critical_net_drawn(self, sample_placement):
+        svg = placement_to_svg(sample_placement,
+                               show_critical_nets=True)
+        assert "<polyline" in svg  # tiny circuit's n2 is critical
+        bare = placement_to_svg(sample_placement,
+                                show_critical_nets=False)
+        assert "<polyline" not in bare
+
+    def test_symmetry_axis_drawn(self, sample_placement):
+        svg = placement_to_svg(sample_placement,
+                               show_symmetry_axes=True)
+        assert "stroke-dasharray" in svg
+
+    def test_real_circuit_renders(self):
+        from repro.api import place
+        from repro.circuits import cc_ota
+        from repro.annealing import SAParams
+
+        result = place(cc_ota(), "annealing",
+                       params=SAParams(iterations=500, seed=1))
+        svg = placement_to_svg(result.placement)
+        assert svg.count("<rect") >= cc_ota().num_devices
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "CC-OTA" in out
+
+    def test_place_and_simulate(self, capsys, tmp_path):
+        from repro.cli import main
+
+        layout = tmp_path / "adder.json"
+        code = main(["place", "Adder", "--method", "annealing",
+                     "--sa-iterations", "500",
+                     "--out", str(layout)])
+        assert code == 0
+        assert layout.exists()
+        assert main(["simulate", "Adder", "--layout",
+                     str(layout)]) == 0
+        out = capsys.readouterr().out
+        assert "FOM" in out
+
+    def test_unknown_table(self, capsys):
+        from repro.cli import main
+
+        assert main(["table", "table99"]) == 2

@@ -1,0 +1,127 @@
+"""Exact metric unit + property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist import Circuit, Device, DeviceType, Net
+from repro.placement import (
+    Placement,
+    bounding_area,
+    hpwl,
+    net_hpwl,
+    overlapping_pairs,
+    pair_overlap,
+    summarize,
+    total_overlap,
+    utilization,
+)
+
+
+def _grid_circuit(n: int) -> Circuit:
+    c = Circuit("grid")
+    for i in range(n):
+        c.add_device(Device(f"d{i}", DeviceType.NMOS, 2.0, 2.0))
+    c.add_net(Net("all", [f"d{i}" for i in range(n)]))
+    return c
+
+
+def test_net_hpwl_two_pins(tiny_circuit):
+    p = Placement.from_mapping(tiny_circuit, {
+        "A": (0, 0), "B": (10, 0), "C": (4, 3), "D": (0, 8),
+    })
+    # n1 connects A.p (-0.6, 0) and C.p (-1.6, 0) offsets from centres
+    expected = abs((0 - 0.6) - (4 - 1.6)) + abs(0.0 - 3.0)
+    assert net_hpwl(p, tiny_circuit.nets[0]) == pytest.approx(expected)
+
+
+def test_hpwl_weighting(tiny_circuit):
+    p = Placement.from_mapping(tiny_circuit, {
+        "A": (0, 0), "B": (10, 0), "C": (4, 3), "D": (0, 8),
+    })
+    weighted = hpwl(p, weighted=True)
+    unweighted = hpwl(p, weighted=False)
+    # net n2 has weight 2, so weighted > unweighted here
+    assert weighted > unweighted
+
+
+def test_single_pin_net_zero_hpwl():
+    c = Circuit("c")
+    c.add_device(Device("A", DeviceType.NMOS, 2.0, 2.0))
+    c.add_net(Net("n", ["A"]))
+    p = Placement.zeros(c)
+    assert hpwl(p) == 0.0
+
+
+def test_pair_overlap_disjoint_and_touching():
+    a = np.array([0.0, 0.0, 2.0, 2.0])
+    assert pair_overlap(a, np.array([3.0, 0.0, 5.0, 2.0])) == 0.0
+    assert pair_overlap(a, np.array([2.0, 0.0, 4.0, 2.0])) == 0.0
+    assert pair_overlap(a, np.array([1.0, 1.0, 3.0, 3.0])) == 1.0
+
+
+def test_total_overlap_stack():
+    c = _grid_circuit(3)
+    p = Placement(c, np.zeros(3), np.zeros(3))  # all coincident 2x2
+    # three pairs, each overlapping 4
+    assert total_overlap(p) == pytest.approx(12.0)
+
+
+def test_overlapping_pairs_penetrations():
+    c = _grid_circuit(2)
+    p = Placement(c, np.array([0.0, 1.0]), np.array([0.0, 0.5]))
+    pairs = overlapping_pairs(p)
+    assert len(pairs) == 1
+    i, j, dx, dy = pairs[0]
+    assert (i, j) == (0, 1)
+    assert dx == pytest.approx(1.0)
+    assert dy == pytest.approx(1.5)
+
+
+def test_utilization_legal_leq_one():
+    c = _grid_circuit(4)
+    p = Placement(c, np.array([1.0, 3.0, 1.0, 3.0]),
+                  np.array([1.0, 1.0, 3.0, 3.0]))
+    assert utilization(p) == pytest.approx(1.0)
+    assert bounding_area(p) == pytest.approx(16.0)
+
+
+def test_summarize_keys(tiny_circuit):
+    p = Placement.zeros(tiny_circuit)
+    out = summarize(p)
+    assert set(out) == {"hpwl", "area", "overlap", "utilization"}
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(
+    st.tuples(st.floats(-50, 50), st.floats(-50, 50)),
+    min_size=2, max_size=8,
+))
+def test_property_translation_invariance(points):
+    """HPWL and overlap are invariant under rigid translation."""
+    c = _grid_circuit(len(points))
+    x = np.array([p[0] for p in points])
+    y = np.array([p[1] for p in points])
+    p1 = Placement(c, x, y)
+    p2 = p1.translate(13.7, -4.2)
+    assert hpwl(p2) == pytest.approx(hpwl(p1), abs=1e-9)
+    assert total_overlap(p2) == pytest.approx(total_overlap(p1),
+                                              abs=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(
+    st.tuples(st.floats(0, 40), st.floats(0, 40)),
+    min_size=2, max_size=8,
+))
+def test_property_overlap_nonnegative_and_bounded(points):
+    """Total overlap is >= 0 and no pair exceeds the smaller area."""
+    c = _grid_circuit(len(points))
+    x = np.array([p[0] for p in points])
+    y = np.array([p[1] for p in points])
+    p = Placement(c, x, y)
+    total = total_overlap(p)
+    assert total >= 0.0
+    n_pairs = len(points) * (len(points) - 1) // 2
+    assert total <= n_pairs * 4.0 + 1e-9  # each device is 2x2

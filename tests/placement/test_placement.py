@@ -1,0 +1,79 @@
+"""Placement container unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.placement import Placement
+
+
+def test_zeros_factory(tiny_circuit):
+    p = Placement.zeros(tiny_circuit)
+    assert p.x.tolist() == [0.0] * 4
+    assert not p.flip_x.any()
+
+
+def test_from_mapping(tiny_circuit):
+    p = Placement.from_mapping(tiny_circuit, {
+        "A": (0, 0), "B": (4, 0), "C": (2, 4), "D": (6, 4),
+    })
+    assert p.position_of("C") == (2.0, 4.0)
+
+
+def test_from_mapping_missing_device(tiny_circuit):
+    with pytest.raises(ValueError, match="missing"):
+        Placement.from_mapping(tiny_circuit, {"A": (0, 0)})
+
+
+def test_wrong_shape_rejected(tiny_circuit):
+    with pytest.raises(ValueError, match="coordinates"):
+        Placement(tiny_circuit, np.zeros(3), np.zeros(4))
+
+
+def test_rectangles_and_bbox(tiny_circuit):
+    p = Placement.from_mapping(tiny_circuit, {
+        "A": (1, 1), "B": (5, 1), "C": (2, 5), "D": (9, 2),
+    })
+    rects = p.rectangles()
+    assert rects[0].tolist() == [0.0, 0.0, 2.0, 2.0]
+    xlo, ylo, xhi, yhi = p.bounding_box()
+    assert (xlo, ylo) == (0.0, 0.0)
+    assert xhi == pytest.approx(10.0)
+    assert yhi == pytest.approx(6.0)
+
+
+def test_pin_position_respects_flip(tiny_circuit):
+    p = Placement.from_mapping(tiny_circuit, {
+        "A": (1, 1), "B": (5, 1), "C": (2, 5), "D": (9, 2),
+    })
+    # A is 2x2 at centre (1,1); pin p at offset (0.4, 1.0)
+    assert p.pin_position("A", "p") == pytest.approx((0.4, 1.0))
+    p.flip_x[0] = True
+    assert p.pin_position("A", "p") == pytest.approx((1.6, 1.0))
+
+
+def test_translate_and_normalize(tiny_circuit):
+    p = Placement.from_mapping(tiny_circuit, {
+        "A": (10, 10), "B": (14, 10), "C": (12, 14), "D": (18, 12),
+    })
+    q = p.normalized()
+    xlo, ylo, _, _ = q.bounding_box()
+    assert xlo == pytest.approx(0.0)
+    assert ylo == pytest.approx(0.0)
+    # original untouched
+    assert p.position_of("A") == (10.0, 10.0)
+
+
+def test_copy_is_deep(tiny_circuit):
+    p = Placement.zeros(tiny_circuit)
+    q = p.copy()
+    q.x[0] = 5.0
+    q.flip_x[0] = True
+    assert p.x[0] == 0.0
+    assert not p.flip_x[0]
+
+
+def test_net_pin_positions_shape(tiny_circuit):
+    p = Placement.zeros(tiny_circuit)
+    net = tiny_circuit.nets[1]
+    pts = p.net_pin_positions(net)
+    assert pts.shape == (3, 2)

@@ -1,0 +1,19 @@
+"""PlacerResult container tests."""
+
+import numpy as np
+import pytest
+
+from repro.placement import Placement, PlacerResult
+
+
+def test_metrics_bundle(tiny_circuit):
+    placement = Placement.from_mapping(tiny_circuit, {
+        "A": (1, 1), "B": (5, 1), "C": (2, 5), "D": (9, 2),
+    })
+    result = PlacerResult(placement=placement, runtime_s=1.5,
+                          method="test", stats={"k": 1})
+    metrics = result.metrics()
+    assert metrics["runtime_s"] == 1.5
+    assert metrics["area"] > 0
+    assert "hpwl" in metrics
+    assert result.stats["k"] == 1
