@@ -25,9 +25,42 @@ def results_dir() -> pathlib.Path:
     return RESULTS_DIR
 
 
+@pytest.fixture(autouse=True)
+def _bench_tracing():
+    """Run every benchmark under an enabled tracer.
+
+    Placements executed inside a benchmark therefore produce full
+    per-phase spans and convergence records; ``save_result`` attaches a
+    compact snapshot of whatever accumulated to the result JSON.
+    """
+    from repro import obs
+
+    with obs.tracing() as tracer:
+        yield tracer
+
+
 @pytest.fixture(scope="session")
 def save_result(results_dir):
     def _save(name: str, data) -> None:
+        from repro import obs
+        from repro.obs import trace as obs_trace
+
+        tracer = obs_trace.current()
+        obs_block = None
+        if tracer.enabled:
+            snapshot = tracer.to_trace()
+            obs_block = {
+                "phase_times": snapshot.phase_times(),
+                "metrics": obs.snapshot(),
+            }
+        if obs_block is not None and isinstance(data, dict):
+            data = dict(data)
+            data["obs"] = obs_block
+        elif obs_block is not None:
+            # row-list results keep their schema; the trace snapshot
+            # goes to a sibling file
+            with open(results_dir / f"{name}.obs.json", "w") as handle:
+                json.dump(obs_block, handle, indent=2, default=float)
         path = results_dir / f"{name}.json"
         with open(path, "w") as handle:
             json.dump(data, handle, indent=2, default=float)

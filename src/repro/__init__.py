@@ -11,9 +11,12 @@ Public surface:
   Perf*, perf-SA) and GNN model training;
 * :mod:`repro.simulate` — closed-form performance models + FOM;
 * :mod:`repro.experiments` — drivers regenerating every paper table
-  and figure.
+  and figure;
+* :mod:`repro.obs` — tracing, convergence recording, metrics and
+  logging (``with obs.tracing(): ...``).
 """
 
+from . import obs
 from .api import METHODS, place, place_annealing, place_eplace_a, \
     place_xu_ispd19
 from .placement import Placement, PlacerResult
@@ -22,6 +25,7 @@ __all__ = [
     "METHODS",
     "Placement",
     "PlacerResult",
+    "obs",
     "place",
     "place_annealing",
     "place_eplace_a",

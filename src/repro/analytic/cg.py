@@ -61,12 +61,18 @@ def conjugate_gradient(
     iterations: int = 200,
     tol: float = 1e-6,
     alpha0: float = 1.0,
+    callback: Callable[[int, float, float, float], None] | None = None,
 ) -> CGResult:
     """Minimise ``objective`` from ``v0`` with PR+ conjugate gradient.
 
     The initial line-search step adapts: each iteration starts from
     twice the previous accepted step, which keeps the search cheap once
     the scale of the landscape is known.
+
+    ``callback``, when given, is invoked after every *accepted* step as
+    ``callback(iteration, value, grad_norm, step_length)`` — the hook
+    the convergence recorder uses; ``None`` (the default) costs
+    nothing.
     """
     v = np.asarray(v0, dtype=float).copy()
     value, grad = objective(v)
@@ -86,6 +92,11 @@ def conjugate_gradient(
             alpha = max(alpha * 0.25, 1e-15)
             continue
         _, grad_new = objective(v_new)
+        if callback is not None:
+            callback(
+                iteration, value_new,
+                float(np.linalg.norm(grad_new)), alpha_used,
+            )
         # Polak-Ribiere+ coefficient with automatic reset
         y = grad_new - grad
         denom = float(np.dot(grad, grad))

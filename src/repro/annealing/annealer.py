@@ -13,7 +13,6 @@ flip, permute an island's row order, and mirror an entire island.
 
 from __future__ import annotations
 
-import time
 from collections.abc import Callable
 from dataclasses import dataclass
 
@@ -22,7 +21,11 @@ import numpy as np
 
 from ..analytic import NetArrays
 from ..netlist import Axis, Circuit
+from ..obs import metrics, trace
+from ..obs.log import get_logger
 from ..placement import Placement, PlacerResult
+
+logger = get_logger("annealing")
 from .islands import (
     Block,
     build_blocks,
@@ -251,56 +254,99 @@ class SimulatedAnnealingPlacer:
         return SequencePair(plus, minus)
 
     def place(self) -> PlacerResult:
-        start = time.perf_counter()
+        tracer = trace.current()
+        clock = trace.Stopwatch()
+        with tracer.span("sa.place", circuit=self.circuit.name):
+            result = self._place(tracer, clock)
+        metrics.counter("repro.sa_placements").inc()
+        result.trace = tracer.to_trace()  # now includes the root span
+        return result
+
+    def _place(
+        self, tracer: trace.Tracer, clock: trace.Stopwatch
+    ) -> PlacerResult:
         p = self.params
         rng = np.random.default_rng(p.seed)
-        blocks = fuse_alignment_blocks(
-            self.circuit, build_blocks(self.circuit)
-        )
-        self._chains = self._compile_chains(blocks)
-        pair0 = self._initial_pair(len(blocks))
+        with tracer.span("sa.islands"):
+            blocks = fuse_alignment_blocks(
+                self.circuit, build_blocks(self.circuit)
+            )
+            self._chains = self._compile_chains(blocks)
+            pair0 = self._initial_pair(len(blocks))
         state = _State(self.circuit, blocks, pair0)
         cost = self._cost(state.realize())
 
         # initial temperature from the spread of random-walk deltas
-        deltas = []
-        probe = state
-        for _ in range(30):
-            cand = self._propose(probe, rng)
-            deltas.append(abs(self._cost(cand.realize()) - cost))
-            probe = cand
+        with tracer.span("sa.probe"):
+            deltas = []
+            probe = state
+            for _ in range(30):
+                cand = self._propose(probe, rng)
+                deltas.append(abs(self._cost(cand.realize()) - cost))
+                probe = cand
         t0 = max(float(np.mean(deltas)), 1e-6) * p.t_start_factor
         t_end = t0 * p.t_end_ratio
         n_temps = max(p.iterations // p.moves_per_temp, 1)
         decay = (t_end / t0) ** (1.0 / n_temps)
+        logger.debug(
+            "SA %s: t0 %.4g over %d temperature stages",
+            self.circuit.name, t0, n_temps,
+        )
 
         best_state, best_cost = state.copy(), cost
         temperature = t0
         accepted = 0
         evaluated = 0
-        for it in range(p.iterations):
-            candidate = self._propose(state, rng)
-            if self._chains and not self._chains_ok(
-                    candidate.pair, self._chains):
-                if (it + 1) % p.moves_per_temp == 0:
-                    temperature *= decay
-                continue
-            cand_cost = self._cost(candidate.realize())
-            evaluated += 1
-            delta = cand_cost - cost
-            if delta <= 0 or rng.random() < np.exp(-delta / temperature):
-                state, cost = candidate, cand_cost
-                accepted += 1
-                if cost < best_cost:
-                    best_state, best_cost = state.copy(), cost
-            if (it + 1) % p.moves_per_temp == 0:
+        # the iteration budget is consumed in temperature stages of
+        # ``moves_per_temp`` moves; the trailing partial stage (when
+        # ``iterations`` is not a multiple) does not decay, matching
+        # the pre-stage-loop behaviour
+        it = 0
+        stage = 0
+        while it < p.iterations:
+            stage_moves = min(p.moves_per_temp, p.iterations - it)
+            stage_accepted = 0
+            stage_evaluated = 0
+            with tracer.span("sa.stage", stage=stage):
+                for _ in range(stage_moves):
+                    it += 1
+                    candidate = self._propose(state, rng)
+                    if self._chains and not self._chains_ok(
+                            candidate.pair, self._chains):
+                        continue
+                    with trace.timer("sa.cost"):
+                        cand_cost = self._cost(candidate.realize())
+                    evaluated += 1
+                    stage_evaluated += 1
+                    delta = cand_cost - cost
+                    if delta <= 0 or rng.random() < np.exp(
+                            -delta / temperature):
+                        state, cost = candidate, cand_cost
+                        accepted += 1
+                        stage_accepted += 1
+                        if cost < best_cost:
+                            best_state, best_cost = state.copy(), cost
+            if tracer.enabled:
+                tracer.record(
+                    "sa.stage", stage,
+                    temperature=temperature,
+                    cost=cost,
+                    best_cost=best_cost,
+                    accepted=stage_accepted,
+                    evaluated=stage_evaluated,
+                )
+            if stage_moves == p.moves_per_temp:
                 temperature *= decay
+            stage += 1
 
         placement = best_state.realize().normalized()
-        runtime = time.perf_counter() - start
+        logger.debug(
+            "SA %s: accept rate %.3f, best cost %.4g",
+            self.circuit.name, accepted / max(evaluated, 1), best_cost,
+        )
         return PlacerResult(
             placement=placement,
-            runtime_s=runtime,
+            runtime_s=clock.elapsed(),
             method="annealing",
             stats={
                 "iterations": p.iterations,

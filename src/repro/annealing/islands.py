@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..netlist import Axis, Circuit, SymmetryGroup
+from ..obs import trace
 
 
 @dataclass
@@ -147,27 +148,30 @@ def _build_island(
 
 def build_blocks(circuit: Circuit) -> list[Block]:
     """All blocks of a circuit: one island per group + free devices."""
-    index = circuit.device_index()
-    blocks: list[Block] = []
-    in_island: set[str] = set()
-    for group in circuit.constraints.symmetry_groups:
-        order = list(range(len(group.pairs) + len(group.self_symmetric)))
-        blocks.append(_build_island(circuit, group, order))
-        in_island.update(group.devices)
-    for name, device in circuit.devices.items():
-        if name in in_island:
-            continue
-        blocks.append(Block(
-            name=name,
-            width=device.width,
-            height=device.height,
-            device_indices=[index[name]],
-            rel_x=np.array([device.width / 2.0]),
-            rel_y=np.array([device.height / 2.0]),
-            flip_x=np.zeros(1, dtype=bool),
-            flip_y=np.zeros(1, dtype=bool),
-        ))
-    return blocks
+    with trace.span("sa.islands.build"):
+        index = circuit.device_index()
+        blocks: list[Block] = []
+        in_island: set[str] = set()
+        for group in circuit.constraints.symmetry_groups:
+            order = list(
+                range(len(group.pairs) + len(group.self_symmetric))
+            )
+            blocks.append(_build_island(circuit, group, order))
+            in_island.update(group.devices)
+        for name, device in circuit.devices.items():
+            if name in in_island:
+                continue
+            blocks.append(Block(
+                name=name,
+                width=device.width,
+                height=device.height,
+                device_indices=[index[name]],
+                rel_x=np.array([device.width / 2.0]),
+                rel_y=np.array([device.height / 2.0]),
+                flip_x=np.zeros(1, dtype=bool),
+                flip_y=np.zeros(1, dtype=bool),
+            ))
+        return blocks
 
 
 def fuse_alignment_blocks(
@@ -181,6 +185,13 @@ def fuse_alignment_blocks(
     touching an island (other than the auto-satisfied case) is not
     representable as a rigid fuse and raises.
     """
+    with trace.span("sa.islands.fuse"):
+        return _fuse_alignment_blocks(circuit, blocks)
+
+
+def _fuse_alignment_blocks(
+    circuit: Circuit, blocks: list[Block]
+) -> list[Block]:
     by_device: dict[int, int] = {}
     for k, block in enumerate(blocks):
         for dev in block.device_indices:

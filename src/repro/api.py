@@ -13,17 +13,21 @@ Table III:
   islands (end to end; no separate detailed step).
 
 Performance-driven variants live in :mod:`repro.perf_driven`.
+
+Every flow runs under the observability layer (:mod:`repro.obs`): when
+a tracer is active (``with obs.tracing():``) the returned
+:class:`PlacerResult` carries a full :class:`repro.obs.Trace` with
+per-phase spans and per-iteration convergence records.
 """
 
 from __future__ import annotations
-
-import time
 
 from .annealing import SAParams, anneal_place
 from .eplace import EPlaceParams, eplace_global
 from .legalize import DetailedParams, detailed_place, \
     lp_two_stage_detailed_placement
 from .netlist import Circuit
+from .obs import metrics, trace
 from .placement import PlacerResult
 from .xu_ispd19 import XuParams, xu_global
 
@@ -37,16 +41,20 @@ def place_eplace_a(
     dp_params: DetailedParams | None = None,
 ) -> PlacerResult:
     """End-to-end ePlace-A: global placement + ILP detailed placement."""
-    start = time.perf_counter()
-    gp = eplace_global(circuit, gp_params or EPlaceParams(
-        utilization=0.8, eta=0.3))
-    dp = detailed_place(gp.placement, dp_params)
+    tracer = trace.current()
+    clock = trace.Stopwatch()
+    with tracer.span("flow.eplace-a", circuit=circuit.name):
+        gp = eplace_global(circuit, gp_params or EPlaceParams(
+            utilization=0.8, eta=0.3))
+        dp = detailed_place(gp.placement, dp_params)
+    metrics.counter("repro.placements").inc()
     return PlacerResult(
         placement=dp.placement,
-        runtime_s=time.perf_counter() - start,
+        runtime_s=clock.elapsed(),
         method="eplace-a",
         stats={"gp": gp.stats, "dp": dp.stats,
                "gp_runtime_s": gp.runtime_s, "dp_runtime_s": dp.runtime_s},
+        trace=tracer.to_trace(),
     )
 
 
@@ -56,16 +64,20 @@ def place_xu_ispd19(
     dp_params: DetailedParams | None = None,
 ) -> PlacerResult:
     """End-to-end previous analytical work [11]: CG GP + two-stage LP."""
-    start = time.perf_counter()
-    gp = xu_global(circuit, gp_params)
-    dp_params = dp_params or DetailedParams(allow_flipping=False)
-    dp = lp_two_stage_detailed_placement(gp.placement, dp_params)
+    tracer = trace.current()
+    clock = trace.Stopwatch()
+    with tracer.span("flow.xu-ispd19", circuit=circuit.name):
+        gp = xu_global(circuit, gp_params)
+        dp_params = dp_params or DetailedParams(allow_flipping=False)
+        dp = lp_two_stage_detailed_placement(gp.placement, dp_params)
+    metrics.counter("repro.placements").inc()
     return PlacerResult(
         placement=dp.placement,
-        runtime_s=time.perf_counter() - start,
+        runtime_s=clock.elapsed(),
         method="xu-ispd19",
         stats={"gp": gp.stats, "dp": dp.stats,
                "gp_runtime_s": gp.runtime_s, "dp_runtime_s": dp.runtime_s},
+        trace=tracer.to_trace(),
     )
 
 
@@ -74,7 +86,9 @@ def place_annealing(
     params: SAParams | None = None,
 ) -> PlacerResult:
     """End-to-end simulated-annealing placement."""
-    return anneal_place(circuit, params)
+    result = anneal_place(circuit, params)
+    metrics.counter("repro.placements").inc()
+    return result
 
 
 def place(circuit: Circuit, method: str = "eplace-a",

@@ -4,10 +4,15 @@ Commands:
 
 * ``list`` — the available paper testcases;
 * ``place`` — run one placement method on a testcase, print metrics,
-  optionally save the layout as JSON and/or SVG;
+  optionally save the layout as JSON and/or SVG, a convergence/span
+  trace as JSONL (``--trace-out``), or a per-phase time table
+  (``--profile``);
 * ``simulate`` — evaluate a saved (or freshly placed) layout's circuit
   performance and FOM;
 * ``table`` — regenerate one of the paper's tables/figures.
+
+Global ``-v``/``-vv`` raises the ``repro.*`` logging level (INFO /
+DEBUG) for solver diagnostics.
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from . import obs
 from .annealing import SAParams
 from .api import METHODS, place
 from .circuits import PAPER_TESTCASES, make
@@ -23,10 +29,35 @@ from .placement.io import load_placement, save_placement, save_svg
 from .simulate import fom, simulate
 
 
+def _echo(message: str = "", err: bool = False) -> None:
+    """CLI output channel (stdout is data; diagnostics go to logging)."""
+    stream = sys.stderr if err else sys.stdout
+    stream.write(message + "\n")
+
+
+def _normalize(name: str) -> str:
+    return "".join(ch for ch in name.lower() if ch.isalnum())
+
+
+#: forgiving lookup: "cmota1", "CM-OTA1" and "cm_ota1" all resolve
+CIRCUIT_ALIASES = {_normalize(name): name for name in PAPER_TESTCASES}
+
+
+def resolve_circuit(name: str) -> str:
+    """Map a user-supplied circuit name to its canonical testcase name."""
+    canonical = CIRCUIT_ALIASES.get(_normalize(name))
+    if canonical is None:
+        raise SystemExit(
+            f"unknown circuit {name!r}; choose from "
+            f"{', '.join(PAPER_TESTCASES)}"
+        )
+    return canonical
+
+
 def _cmd_list(_args) -> int:
     for name in PAPER_TESTCASES:
         circuit = make(name)
-        print(f"{name:8s} devices={circuit.num_devices:3d} "
+        _echo(f"{name:8s} devices={circuit.num_devices:3d} "
               f"nets={circuit.num_nets:3d} "
               f"symmetry_groups="
               f"{len(circuit.constraints.symmetry_groups)}")
@@ -34,39 +65,61 @@ def _cmd_list(_args) -> int:
 
 
 def _cmd_place(args) -> int:
-    circuit = make(args.circuit)
+    name = args.circuit_opt or args.circuit
+    if not name:
+        raise SystemExit(
+            "place: a circuit is required (positional or --circuit)"
+        )
+    circuit = make(resolve_circuit(name))
     kwargs = {}
     if args.method == "annealing":
         kwargs["params"] = SAParams(iterations=args.sa_iterations,
                                     seed=args.seed)
-    result = place(circuit, args.method, **kwargs)
+    want_trace = bool(args.trace_out or args.profile)
+    if want_trace:
+        with obs.tracing() as tracer:
+            result = place(circuit, args.method, **kwargs)
+        if not result.trace:
+            result.trace = tracer.to_trace()
+    else:
+        result = place(circuit, args.method, **kwargs)
     metrics = result.metrics()
     audit = audit_constraints(result.placement)
-    print(f"method   : {result.method}")
-    print(f"area     : {metrics['area']:.2f} um^2")
-    print(f"hpwl     : {metrics['hpwl']:.2f} um")
-    print(f"overlap  : {metrics['overlap']:.4f} um^2")
-    print(f"runtime  : {metrics['runtime_s']:.2f} s")
-    print(f"audit    : {'OK' if audit.ok else audit.violations}")
+    _echo(f"method   : {result.method}")
+    _echo(f"area     : {metrics['area']:.2f} um^2")
+    _echo(f"hpwl     : {metrics['hpwl']:.2f} um")
+    _echo(f"overlap  : {metrics['overlap']:.4f} um^2")
+    _echo(f"runtime  : {metrics['runtime_s']:.2f} s")
+    _echo(f"audit    : {'OK' if audit.ok else audit.violations}")
     if args.out:
         save_placement(result.placement, args.out)
-        print(f"saved    : {args.out}")
+        _echo(f"saved    : {args.out}")
     if args.svg:
         save_svg(result.placement, args.svg)
-        print(f"svg      : {args.svg}")
+        _echo(f"svg      : {args.svg}")
+    if args.trace_out:
+        count = obs.write_jsonl(
+            result.trace, args.trace_out,
+            method=result.method, circuit=circuit.name,
+            runtime_s=result.runtime_s,
+        )
+        _echo(f"trace    : {args.trace_out} ({count} records)")
+    if args.profile:
+        _echo()
+        _echo(obs.format_profile(result.trace, result.runtime_s))
     return 0
 
 
 def _cmd_simulate(args) -> int:
-    circuit = make(args.circuit)
+    circuit = make(resolve_circuit(args.circuit))
     if args.layout:
         placement = load_placement(circuit, args.layout)
     else:
         placement = place(circuit, args.method).placement
     metrics = simulate(placement)
     for name, value in metrics.items():
-        print(f"{name:20s} {value:10.2f}")
-    print(f"{'FOM':20s} {fom(placement):10.3f}")
+        _echo(f"{name:20s} {value:10.2f}")
+    _echo(f"{'FOM':20s} {fom(placement):10.3f}")
     return 0
 
 
@@ -81,12 +134,12 @@ def _cmd_table(args) -> int:
         "fig5": (exp.run_fig5, exp.format_fig5),
     }
     if args.name not in drivers:
-        print(f"unknown experiment {args.name!r}; choose from "
+        _echo(f"unknown experiment {args.name!r}; choose from "
               f"{sorted(drivers)} (performance tables need trained "
-              "models; use the benchmark suite)", file=sys.stderr)
+              "models; use the benchmark suite)", err=True)
         return 2
     run, fmt = drivers[args.name]
-    print(fmt(run(quick=args.quick)))
+    _echo(fmt(run(quick=args.quick)))
     return 0
 
 
@@ -95,22 +148,33 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Analog placement study reproduction (DATE 2022)",
     )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="raise repro.* log level (-v INFO, -vv DEBUG)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list the paper's testcases")
 
     p_place = sub.add_parser("place", help="place one testcase")
-    p_place.add_argument("circuit", choices=PAPER_TESTCASES)
+    p_place.add_argument("circuit", nargs="?",
+                         help=f"testcase ({', '.join(PAPER_TESTCASES)})")
+    p_place.add_argument("--circuit", dest="circuit_opt",
+                         help="testcase (alternative to the positional)")
     p_place.add_argument("--method", choices=METHODS,
                          default="eplace-a")
     p_place.add_argument("--sa-iterations", type=int, default=20000)
     p_place.add_argument("--seed", type=int, default=3)
     p_place.add_argument("--out", help="save layout JSON here")
     p_place.add_argument("--svg", help="save layout SVG here")
+    p_place.add_argument("--trace-out", metavar="FILE.jsonl",
+                         help="write the span/convergence trace as JSONL")
+    p_place.add_argument("--profile", action="store_true",
+                         help="print a per-phase time table")
 
     p_sim = sub.add_parser("simulate",
                            help="simulate a layout's performance")
-    p_sim.add_argument("circuit", choices=PAPER_TESTCASES)
+    p_sim.add_argument("circuit")
     p_sim.add_argument("--layout", help="layout JSON (else place fresh)")
     p_sim.add_argument("--method", choices=METHODS, default="eplace-a")
 
@@ -123,6 +187,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    obs.configure_logging(args.verbose)
     handlers = {
         "list": _cmd_list,
         "place": _cmd_place,

@@ -13,8 +13,6 @@ ePlace-A from the NTUplace3-based prior work [11].
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from ..analytic import (
@@ -26,9 +24,13 @@ from ..analytic import (
     wa_wirelength,
 )
 from ..netlist import Circuit
+from ..obs import metrics, trace
+from ..obs.log import get_logger
 from ..placement import Placement, PlacerResult
 from .hard_symmetry import HardSymmetryMap
 from .params import EPlaceParams
+
+logger = get_logger("eplace")
 
 
 class EPlaceGlobalPlacer:
@@ -84,35 +86,63 @@ class EPlaceGlobalPlacer:
         """Full objective terms and gradient in device-coordinate space."""
         p = self.params
         gamma = self._gamma()
-        value_w, gx, gy = wa_wirelength(self.arrays, x, y, gamma)
+        with trace.timer("eplace.gp.wirelength"):
+            value_w, gx, gy = wa_wirelength(self.arrays, x, y, gamma)
         value = value_w
 
-        value_n, dgx, dgy, overflow = self.density.energy_and_grad(x, y)
+        with trace.timer("eplace.gp.density"):
+            value_n, dgx, dgy, overflow = \
+                self.density.energy_and_grad(x, y)
         self._overflow = overflow
         value += self._lambda * value_n
         gx = gx + self._lambda * dgx
         gy = gy + self._lambda * dgy
 
+        value_a = 0.0
         if p.eta > 0.0:
-            value_a, agx, agy = area_term(
-                x, y, self.widths, self.heights, gamma
-            )
+            with trace.timer("eplace.gp.area"):
+                value_a, agx, agy = area_term(
+                    x, y, self.widths, self.heights, gamma
+                )
             value += self._eta_scaled * value_a
             gx += self._eta_scaled * agx
             gy += self._eta_scaled * agy
 
-        if self._hard_map is None:
-            tau = self._tau_scaled
-            value_s, sgx, sgy = self.penalties.symmetry(x, y)
-            value += tau * value_s
-            gx += tau * sgx
-            gy += tau * sgy
-        value_al, algx, algy = self.penalties.alignment(x, y)
-        value_o, ogx, ogy = self.penalties.ordering(x, y)
+        value_s = 0.0
+        with trace.timer("eplace.gp.penalties"):
+            if self._hard_map is None:
+                tau = self._tau_scaled
+                value_s, sgx, sgy = self.penalties.symmetry(x, y)
+                value += tau * value_s
+                gx += tau * sgx
+                gy += tau * sgy
+            value_al, algx, algy = self.penalties.alignment(x, y)
+            value_o, ogx, ogy = self.penalties.ordering(x, y)
         value += p.align_weight * value_al + p.order_weight * value_o
         gx += p.align_weight * algx + p.order_weight * ogx
         gy += p.align_weight * algy + p.order_weight * ogy
+        if trace.active():
+            # last-evaluation term values for the convergence recorder
+            self._terms = {
+                "wirelength": float(value_w),
+                "density": float(value_n),
+                "area": float(value_a),
+                "symmetry": float(value_s),
+                "alignment": float(value_al),
+                "ordering": float(value_o),
+            }
         return value, gx, gy
+
+    def _exact_hpwl(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Exact (non-smoothed) weighted HPWL at unflipped positions."""
+        a = self.arrays
+        px = x[a.pin_dev] + a.pin_offx
+        py = y[a.pin_dev] + a.pin_offy
+        spans = (
+            a.segment_max(px) - a.segment_min(px)
+            + a.segment_max(py) - a.segment_min(py)
+        )
+        return float(np.dot(a.weights, spans))
 
     # ------------------------------------------------------------------
     def _init_weights(self, x: np.ndarray, y: np.ndarray) -> None:
@@ -148,10 +178,21 @@ class EPlaceGlobalPlacer:
     # ------------------------------------------------------------------
     def place(self) -> PlacerResult:
         """Run global placement; returns centre coordinates (no flips)."""
-        start = time.perf_counter()
+        tracer = trace.current()
+        clock = trace.Stopwatch()
+        with tracer.span("eplace.gp", circuit=self.circuit.name):
+            result = self._place(tracer, clock)
+        metrics.counter("repro.global_placements").inc()
+        result.trace = tracer.to_trace()  # now includes the root span
+        return result
+
+    def _place(
+        self, tracer: trace.Tracer, clock: trace.Stopwatch
+    ) -> PlacerResult:
         p = self.params
-        x, y = self.initial_positions()
-        self._init_weights(x, y)
+        with tracer.span("eplace.gp.init"):
+            x, y = self.initial_positions()
+            self._init_weights(x, y)
         n = self.circuit.num_devices
 
         half_w, half_h = self.widths / 2.0, self.heights / 2.0
@@ -190,25 +231,45 @@ class EPlaceGlobalPlacer:
         )
         history = []
         iterations = 0
-        for iterations in range(1, p.max_iters + 1):
-            info = optimizer.step()
-            self._lambda *= p.lambda_mult
-            history.append((info.value, self._overflow))
-            if (
-                iterations >= p.min_iters
-                and self._overflow < p.overflow_stop
-            ):
-                break
+        recording = tracer.enabled
+        with tracer.span("eplace.gp.nesterov"):
+            for iterations in range(1, p.max_iters + 1):
+                info = optimizer.step()
+                self._lambda *= p.lambda_mult
+                history.append((info.value, self._overflow))
+                if recording:
+                    if self._hard_map is None:
+                        cx, cy = optimizer.v[:n], optimizer.v[n:]
+                    else:
+                        cx, cy = self._hard_map.expand(optimizer.v)
+                    tracer.record(
+                        "eplace.nesterov", iterations,
+                        value=info.value,
+                        grad_norm=info.grad_norm,
+                        step_length=info.step_length,
+                        overflow=self._overflow,
+                        density_weight=self._lambda,
+                        hpwl=self._exact_hpwl(cx, cy),
+                        **getattr(self, "_terms", {}),
+                    )
+                if (
+                    iterations >= p.min_iters
+                    and self._overflow < p.overflow_stop
+                ):
+                    break
 
         if self._hard_map is None:
             x, y = optimizer.v[:n], optimizer.v[n:]
         else:
             x, y = self._hard_map.expand(optimizer.v)
         placement = Placement(self.circuit, x, y)
-        runtime = time.perf_counter() - start
+        logger.debug(
+            "eplace GP %s: %d iterations, overflow %.4f",
+            self.circuit.name, iterations, self._overflow,
+        )
         return PlacerResult(
             placement=placement,
-            runtime_s=runtime,
+            runtime_s=clock.elapsed(),
             method=f"eplace-gp[{p.symmetry_mode}]",
             stats={
                 "iterations": iterations,

@@ -33,17 +33,20 @@ ePlace-A flow uses.
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 import numpy as np
 from scipy import sparse
 from scipy.optimize import Bounds, LinearConstraint, milp
 
 from ..netlist import Axis
+from ..obs import metrics, trace
+from ..obs.log import get_logger
 from ..placement import Placement, PlacerResult, summarize
 from .pairs import HORIZONTAL, _constraint_overrides, separation_constraints
 from .presym import presymmetrize
+
+logger = get_logger("legalize.ilp")
 
 #: default placement grid pitch in µm (matches the testcase generators)
 DEFAULT_GRID = 0.1
@@ -136,6 +139,14 @@ def _steps(value: float, grid: float) -> int:
     return int(rounded)
 
 
+class _Model:
+    """Assembled (M)ILP instance: objective, rows, bounds, var layout."""
+
+    __slots__ = ("c", "rows", "lower", "upper", "integrality",
+                 "num_vars", "vx", "vy", "vfx", "vfy", "flips",
+                 "v_width", "v_height", "free_list")
+
+
 def _solve_model(
     placement: Placement,
     params: DetailedParams,
@@ -148,6 +159,64 @@ def _solve_model(
     order become MILP decisions (four big-M rows over two binaries);
     every other pair keeps the direction derived from ``placement``.
     """
+    circuit = placement.circuit
+    n = circuit.num_devices
+    grid = params.grid
+    with trace.span("legalize.ilp.model", circuit=circuit.name):
+        m = _build_model(placement, params, free_keys)
+    with trace.span("legalize.ilp.solve", num_vars=m.num_vars,
+                    num_rows=m.rows.count):
+        result = milp(
+            m.c,
+            constraints=m.rows.build(m.num_vars),
+            bounds=Bounds(m.lower, m.upper),
+            integrality=m.integrality,
+            options={"time_limit": time_limit or params.time_limit_s,
+                     "mip_rel_gap": 1e-4},
+        )
+    metrics.counter("repro.milp_solves").inc()
+    if result.x is None:
+        logger.info(
+            "ILP detailed placement infeasible/unsolved for %s: %s",
+            circuit.name, result.message,
+        )
+        raise DetailedPlacementError(
+            f"ILP detailed placement failed for {circuit.name!r}: "
+            f"{result.message}"
+        )
+    logger.debug(
+        "ILP %s: status %d, %d vars, %d rows, objective %.4g",
+        circuit.name, int(result.status), m.num_vars, m.rows.count,
+        float(result.fun),
+    )
+
+    x = np.round(result.x[m.vx]) * grid
+    y = np.round(result.x[m.vy]) * grid
+    if m.flips:
+        flip_x = np.round(result.x[m.vfx]).astype(bool)
+        flip_y = np.round(result.x[m.vfy]).astype(bool)
+    else:
+        flip_x = np.zeros(n, dtype=bool)
+        flip_y = np.zeros(n, dtype=bool)
+    placed = Placement(circuit, x, y, flip_x, flip_y).normalized()
+    stats = {
+        "objective": float(result.fun),
+        "mip_status": int(result.status),
+        "num_vars": m.num_vars,
+        "num_rows": m.rows.count,
+        "freed_pairs": len(m.free_list),
+        "outline_w": float(result.x[m.v_width]) * grid,
+        "outline_h": float(result.x[m.v_height]) * grid,
+    }
+    return placed, stats
+
+
+def _build_model(
+    placement: Placement,
+    params: DetailedParams,
+    free_keys: frozenset[tuple[int, int]],
+) -> _Model:
+    """Assemble formulation (4a)-(4j) for one placement snapshot."""
     circuit = placement.circuit
     n = circuit.num_devices
     grid = params.grid
@@ -364,42 +433,22 @@ def _solve_model(
             rows.add([(vy.start + ia, 1.0), (vy.start + ib, -1.0)],
                      0.0, 0.0)
 
-    # ------------------------------------------------------------------
-    # solve
-    # ------------------------------------------------------------------
-    result = milp(
-        c,
-        constraints=rows.build(num_vars),
-        bounds=Bounds(lower, upper),
-        integrality=integrality,
-        options={"time_limit": time_limit or params.time_limit_s,
-                 "mip_rel_gap": 1e-4},
-    )
-    if result.x is None:
-        raise DetailedPlacementError(
-            f"ILP detailed placement failed for {circuit.name!r}: "
-            f"{result.message}"
-        )
-
-    x = np.round(result.x[vx]) * grid
-    y = np.round(result.x[vy]) * grid
-    if flips:
-        flip_x = np.round(result.x[vfx]).astype(bool)
-        flip_y = np.round(result.x[vfy]).astype(bool)
-    else:
-        flip_x = np.zeros(n, dtype=bool)
-        flip_y = np.zeros(n, dtype=bool)
-    placed = Placement(circuit, x, y, flip_x, flip_y).normalized()
-    stats = {
-        "objective": float(result.fun),
-        "mip_status": int(result.status),
-        "num_vars": num_vars,
-        "num_rows": rows.count,
-        "freed_pairs": len(free_list),
-        "outline_w": float(result.x[v_width]) * grid,
-        "outline_h": float(result.x[v_height]) * grid,
-    }
-    return placed, stats
+    model = _Model()
+    model.c = c
+    model.rows = rows
+    model.lower = lower
+    model.upper = upper
+    model.integrality = integrality
+    model.num_vars = num_vars
+    model.vx = vx
+    model.vy = vy
+    model.vfx = vfx
+    model.vfy = vfy
+    model.flips = flips
+    model.v_width = v_width
+    model.v_height = v_height
+    model.free_list = free_list
+    return model
 
 
 def _score(placement: Placement, params: DetailedParams) -> float:
@@ -419,14 +468,18 @@ def ilp_detailed_placement(
     params: DetailedParams | None = None,
 ) -> PlacerResult:
     """One ILP solve with directions fixed from the input placement."""
-    start = time.perf_counter()
+    tracer = trace.current()
+    clock = trace.Stopwatch()
     params = params or DetailedParams()
-    placed, stats = _solve_model(placement, params)
+    with tracer.span("legalize.ilp",
+                     circuit=placement.circuit.name):
+        placed, stats = _solve_model(placement, params)
     return PlacerResult(
         placement=placed,
-        runtime_s=time.perf_counter() - start,
+        runtime_s=clock.elapsed(),
         method="ilp-dp",
         stats=stats,
+        trace=tracer.to_trace(),
     )
 
 
@@ -511,6 +564,10 @@ def refine_directions(
                 time_limit=params.refine_time_limit_s,
             )
         except DetailedPlacementError:
+            logger.debug(
+                "LNS refinement round rejected: freed MILP unsolved "
+                "within %.1fs", params.refine_time_limit_s,
+            )
             continue
         score = _score(candidate, params)
         if score < best_score - 1e-9:
@@ -524,19 +581,30 @@ def detailed_place(
     params: DetailedParams | None = None,
 ) -> PlacerResult:
     """Full ePlace-A detailed placement: solve, iterate, refine."""
-    start = time.perf_counter()
+    tracer = trace.current()
+    clock = trace.Stopwatch()
     params = params or DetailedParams()
-    placed, stats = _solve_model(placement, params)
-    if params.iterate_rounds > 1:
-        placed, iterated = iterate_directions(placed, params)
-        stats["iterate_rounds"] = iterated
-    if params.refine_rounds > 0:
-        placed, improved = refine_directions(placed, params)
-        stats["refine_improvements"] = improved
-    stats["score"] = _score(placed, params)
+    with tracer.span("legalize.ilp",
+                     circuit=placement.circuit.name):
+        placed, stats = _solve_model(placement, params)
+        if params.iterate_rounds > 1:
+            with tracer.span("legalize.ilp.iterate"):
+                placed, iterated = iterate_directions(placed, params)
+            stats["iterate_rounds"] = iterated
+        if params.refine_rounds > 0:
+            with tracer.span("legalize.ilp.refine"):
+                placed, improved = refine_directions(placed, params)
+            stats["refine_improvements"] = improved
+        stats["score"] = _score(placed, params)
+    logger.info(
+        "ILP detailed placement %s: score %.4g, %d vars, %d rows",
+        placement.circuit.name, stats["score"], stats["num_vars"],
+        stats["num_rows"],
+    )
     return PlacerResult(
         placement=placed,
-        runtime_s=time.perf_counter() - start,
+        runtime_s=clock.elapsed(),
         method="ilp-dp",
         stats=stats,
+        trace=tracer.to_trace(),
     )

@@ -17,16 +17,18 @@ flipping.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 from scipy.optimize import Bounds, milp
 
 from ..netlist import Axis
+from ..obs import metrics, trace
+from ..obs.log import get_logger
 from ..placement import Placement, PlacerResult
 from .ilp import DetailedParams, DetailedPlacementError, _Rows
 from .pairs import HORIZONTAL, separation_constraints
 from .presym import presymmetrize
+
+logger = get_logger("legalize.lp2")
 
 
 class _LPModel:
@@ -167,7 +169,12 @@ class _LPModel:
             integrality=np.zeros(self.num_vars),
             options={"time_limit": self.params.time_limit_s},
         )
+        metrics.counter("repro.lp_solves").inc()
         if result.x is None:
+            logger.info(
+                "two-stage LP infeasible/unsolved for %s: %s",
+                self.circuit.name, result.message,
+            )
             raise DetailedPlacementError(
                 f"two-stage LP failed for {self.circuit.name!r}: "
                 f"{result.message}"
@@ -180,39 +187,55 @@ def lp_two_stage_detailed_placement(
     params: DetailedParams | None = None,
 ) -> PlacerResult:
     """Run [11]'s area-then-wirelength LP detailed placement."""
-    start = time.perf_counter()
+    tracer = trace.current()
+    clock = trace.Stopwatch()
     params = params or DetailedParams(allow_flipping=False)
-    model = _LPModel(placement, params)
+    with tracer.span("legalize.lp2",
+                     circuit=placement.circuit.name):
+        with tracer.span("legalize.lp2.model"):
+            model = _LPModel(placement, params)
 
-    # stage 1: area compaction — minimise (H~ W + W~ H)/2
-    c1 = np.zeros(model.num_vars)
-    c1[model.vw] = model.pseudo / 2.0
-    c1[model.vh] = model.pseudo / 2.0
-    x1 = model.solve(c1)
-    w_star, h_star = x1[model.vw], x1[model.vh]
+        # stage 1: area compaction — minimise (H~ W + W~ H)/2
+        c1 = np.zeros(model.num_vars)
+        c1[model.vw] = model.pseudo / 2.0
+        c1[model.vh] = model.pseudo / 2.0
+        with tracer.span("legalize.lp2.stage1",
+                         num_vars=model.num_vars,
+                         num_rows=model.rows.count):
+            x1 = model.solve(c1)
+        w_star, h_star = x1[model.vw], x1[model.vh]
+        logger.debug(
+            "two-stage LP %s: stage-1 outline %.2f x %.2f um",
+            placement.circuit.name, float(w_star), float(h_star),
+        )
 
-    # stage 2: wirelength inside the frozen outline
-    c2 = np.zeros(model.num_vars)
-    for k, net in enumerate(model.wire_nets):
-        c2[model.hi_x + k] += net.weight
-        c2[model.lo_x + k] -= net.weight
-        c2[model.hi_y + k] += net.weight
-        c2[model.lo_y + k] -= net.weight
-    freeze = [
-        ([(model.vw, 1.0)], 0.0, w_star + 1e-9),
-        ([(model.vh, 1.0)], 0.0, h_star + 1e-9),
-    ]
-    x2 = model.solve(c2, extra_rows=freeze)
+        # stage 2: wirelength inside the frozen outline
+        c2 = np.zeros(model.num_vars)
+        for k, net in enumerate(model.wire_nets):
+            c2[model.hi_x + k] += net.weight
+            c2[model.lo_x + k] -= net.weight
+            c2[model.hi_y + k] += net.weight
+            c2[model.lo_y + k] -= net.weight
+        freeze = [
+            ([(model.vw, 1.0)], 0.0, w_star + 1e-9),
+            ([(model.vh, 1.0)], 0.0, h_star + 1e-9),
+        ]
+        with tracer.span("legalize.lp2.stage2"):
+            x2 = model.solve(c2, extra_rows=freeze)
 
-    n = model.n
-    placed = Placement(
-        placement.circuit, x2[model.vx:model.vx + n],
-        x2[model.vy:model.vy + n],
-    ).normalized()
-    runtime = time.perf_counter() - start
+        n = model.n
+        placed = Placement(
+            placement.circuit, x2[model.vx:model.vx + n],
+            x2[model.vy:model.vy + n],
+        ).normalized()
+    logger.info(
+        "two-stage LP %s: outline %.2f x %.2f um, %d vars, %d rows",
+        placement.circuit.name, float(w_star), float(h_star),
+        model.num_vars, model.rows.count,
+    )
     return PlacerResult(
         placement=placed,
-        runtime_s=runtime,
+        runtime_s=clock.elapsed(),
         method="lp2-dp",
         stats={
             "outline_w": float(w_star),
@@ -220,4 +243,5 @@ def lp_two_stage_detailed_placement(
             "num_vars": model.num_vars,
             "num_rows": model.rows.count,
         },
+        trace=tracer.to_trace(),
     )

@@ -1,0 +1,63 @@
+"""Unified observability layer: tracing, convergence recording,
+metrics and logging for every placement engine.
+
+Usage::
+
+    from repro import obs
+
+    with obs.tracing() as tracer:
+        result = repro.place(circuit, "eplace-a")
+    table = obs.format_profile(result.trace, result.runtime_s)
+    obs.write_jsonl(result.trace, "trace.jsonl", method=result.method)
+
+Inside engines::
+
+    from ..obs import trace
+
+    with trace.span("eplace.gp"):
+        ...
+        with trace.timer("eplace.gp.density"):
+            ...
+        trace.record("eplace.nesterov", i, hpwl=..., overflow=...)
+
+See :mod:`repro.obs.trace` for the zero-overhead-when-disabled design,
+:mod:`repro.obs.export` for the JSONL schema and
+:mod:`repro.obs.metrics` for the always-on registry benchmarks consume.
+"""
+
+from . import export, log, metrics, trace
+from .export import format_profile, trace_records, write_jsonl
+from .log import configure as configure_logging
+from .log import get_logger
+from .metrics import REGISTRY, MetricsRegistry, snapshot
+from .trace import (
+    NULL_TRACER,
+    IterationRecord,
+    SpanRecord,
+    Stopwatch,
+    Trace,
+    Tracer,
+    tracing,
+)
+
+__all__ = [
+    "IterationRecord",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "REGISTRY",
+    "SpanRecord",
+    "Stopwatch",
+    "Trace",
+    "Tracer",
+    "configure_logging",
+    "export",
+    "format_profile",
+    "get_logger",
+    "log",
+    "metrics",
+    "snapshot",
+    "trace",
+    "trace_records",
+    "tracing",
+    "write_jsonl",
+]

@@ -1,0 +1,135 @@
+"""Trace serialisation (JSONL) and the ``--profile`` time table.
+
+JSONL schema — one JSON object per line, discriminated by ``type``:
+
+* ``{"type": "meta", ...}`` — header: record counts, drop counters and
+  any caller-supplied context (method, circuit, runtime_s);
+* ``{"type": "span", "name", "t0", "dur_s", "self_s", "depth",
+  "parent", "thread", "attrs"}`` — one per completed span;
+* ``{"type": "iteration", "phase", "iteration", **values}`` — one per
+  convergence record (engine-specific numeric fields, no timestamps);
+* ``{"type": "timer", "name", "total_s", "calls"}`` — aggregated
+  hot-path timers;
+* ``{"type": "counter"|"gauge", "name", "value"}`` — metrics snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterator
+
+from .trace import Trace
+
+
+def trace_records(trace: Trace, **meta) -> Iterator[dict]:
+    """Yield the JSONL record dicts for ``trace``.
+
+    ``meta`` keys (e.g. ``method=``, ``runtime_s=``) land in the header
+    record so a trace file is self-describing.
+    """
+    header = {
+        "type": "meta",
+        "spans": len(trace.spans),
+        "iterations": len(trace.convergence),
+        "dropped_spans": trace.dropped_spans,
+        "dropped_records": trace.dropped_records,
+    }
+    header.update(meta)
+    yield header
+    for s in trace.spans:
+        rec = {
+            "type": "span",
+            "name": s.name,
+            "t0": s.start,
+            "dur_s": s.duration,
+            "self_s": s.self_s,
+            "depth": s.depth,
+            "parent": s.parent,
+            "thread": s.thread,
+        }
+        if s.attrs:
+            rec["attrs"] = s.attrs
+        yield rec
+    for r in trace.convergence:
+        rec = {
+            "type": "iteration",
+            "phase": r.phase,
+            "iteration": r.iteration,
+        }
+        rec.update(r.values)
+        yield rec
+    for name, agg in trace.timers.items():
+        yield {"type": "timer", "name": name, **agg}
+    for name, value in trace.counters.items():
+        yield {"type": "counter", "name": name, "value": value}
+    for name, value in trace.gauges.items():
+        yield {"type": "gauge", "name": name, "value": value}
+
+
+def write_jsonl(trace: Trace, path, **meta) -> int:
+    """Write ``trace`` to ``path`` as JSONL; returns the record count."""
+    count = 0
+    with open(path, "w") as handle:
+        for rec in trace_records(trace, **meta):
+            handle.write(json.dumps(rec, default=float))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def format_profile(trace: Trace, runtime_s: float | None = None) -> str:
+    """Render the per-phase time table for ``--profile``.
+
+    The ``self s`` column partitions traced wall-clock time between
+    phases (span durations minus child-span time), so its sum equals
+    the root spans' total — within measurement slop of the engine's
+    reported ``runtime_s``.  Aggregated hot-path timers follow in a
+    second section (their time is already counted inside the spans
+    that contain them).
+    """
+    phases = trace.phase_times()
+    if not phases:
+        return "(empty trace: run with tracing enabled)"
+    total = trace.total_span_s()
+    denom = total if total > 0 else 1.0
+    lines = [
+        f"{'phase':<42s} {'calls':>6s} {'total s':>10s} "
+        f"{'self s':>10s} {'self %':>7s}"
+    ]
+    order = sorted(
+        phases.items(), key=lambda kv: kv[1]["self_s"], reverse=True
+    )
+    for name, agg in order:
+        lines.append(
+            f"{name:<42s} {agg['calls']:>6d} {agg['total_s']:>10.3f} "
+            f"{agg['self_s']:>10.3f} {100.0 * agg['self_s'] / denom:>6.1f}%"
+        )
+    lines.append(
+        f"{'total (sum of self)':<42s} {'':>6s} {'':>10s} "
+        f"{total:>10.3f} {100.0:>6.1f}%"
+    )
+    if runtime_s is not None:
+        lines.append(
+            f"{'reported runtime_s':<42s} {'':>6s} {'':>10s} "
+            f"{runtime_s:>10.3f}"
+        )
+    if trace.timers:
+        lines.append("")
+        lines.append(
+            f"{'hot-path timer (inside spans above)':<42s} "
+            f"{'calls':>6s} {'total s':>10s}"
+        )
+        for name, agg in sorted(
+            trace.timers.items(),
+            key=lambda kv: kv[1]["total_s"],
+            reverse=True,
+        ):
+            lines.append(
+                f"{name:<42s} {agg['calls']:>6d} {agg['total_s']:>10.3f}"
+            )
+    if trace.dropped_spans or trace.dropped_records:
+        lines.append(
+            f"(dropped {trace.dropped_spans} spans, "
+            f"{trace.dropped_records} iteration records at capacity)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Stdlib ``logging`` hierarchy under the ``repro.*`` namespace.
+
+Solver modules get a child logger with :func:`get_logger` and emit
+DEBUG/INFO diagnostics (model sizes, solve statuses, schedules) instead
+of bare ``print``.  Nothing is shown unless the application configures
+a handler — the CLI's ``-v``/``-vv`` flags call :func:`configure`.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+ROOT_NAME = "repro"
+
+_FORMAT = "%(levelname)-7s %(name)s: %(message)s"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``repro.<name>``)."""
+    if not name:
+        return logging.getLogger(ROOT_NAME)
+    if name.startswith(ROOT_NAME + ".") or name == ROOT_NAME:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_NAME}.{name}")
+
+
+def verbosity_level(verbosity: int) -> int:
+    """Map a ``-v`` count to a logging level (0→WARNING, 1→INFO, 2+→DEBUG)."""
+    if verbosity <= 0:
+        return logging.WARNING
+    if verbosity == 1:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def configure(verbosity: int = 0, stream=None) -> logging.Logger:
+    """Attach one stream handler to the ``repro`` root logger.
+
+    Idempotent: re-invocation updates the level and stream of the
+    handler it installed instead of stacking duplicates.  Returns the
+    root ``repro`` logger.
+    """
+    logger = logging.getLogger(ROOT_NAME)
+    level = verbosity_level(verbosity)
+    handler = None
+    for existing in logger.handlers:
+        if getattr(existing, "_repro_cli", False):
+            handler = existing
+            break
+    if handler is None:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler._repro_cli = True
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        logger.addHandler(handler)
+    elif stream is not None:
+        handler.setStream(stream)
+    logger.setLevel(level)
+    logger.propagate = False
+    return logger

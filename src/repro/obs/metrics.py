@@ -1,0 +1,132 @@
+"""Process-wide metrics registry: counters, gauges, aggregate timers.
+
+One global :class:`MetricsRegistry` (``REGISTRY``) accumulates coarse
+run telemetry — MILP solve counts, placements completed, model sizes —
+and exposes a single :func:`snapshot` the benchmark harness attaches to
+its result JSON.  Unlike spans (per-run, activated explicitly), the
+registry is always on; engines only touch it at coarse granularity
+(once per solve/run), never inside hot loops.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins scalar."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Timer:
+    """Aggregate timer: total seconds + call count, used as a context
+    manager (``with registry.timer("name"):``)."""
+
+    __slots__ = ("total_s", "calls", "_start")
+
+    def __init__(self) -> None:
+        self.total_s = 0.0
+        self.calls = 0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.total_s += time.perf_counter() - self._start
+        self.calls += 1
+        return False
+
+
+class MetricsRegistry:
+    """Named counters/gauges/timers with one-call :meth:`snapshot`."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._timers: dict[str, Timer] = {}
+
+    def _get(self, table: dict, name: str, factory):
+        metric = table.get(name)
+        if metric is None:
+            with self._lock:
+                metric = table.setdefault(name, factory())
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(self._counters, name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(self._gauges, name, Gauge)
+
+    def timer(self, name: str) -> Timer:
+        return self._get(self._timers, name, Timer)
+
+    def snapshot(self) -> dict[str, dict]:
+        """Plain-dict view of every registered metric."""
+        with self._lock:
+            return {
+                "counters": {
+                    k: c.value for k, c in sorted(self._counters.items())
+                },
+                "gauges": {
+                    k: g.value for k, g in sorted(self._gauges.items())
+                },
+                "timers": {
+                    k: {"total_s": t.total_s, "calls": t.calls}
+                    for k, t in sorted(self._timers.items())
+                },
+            }
+
+    def reset(self) -> None:
+        """Drop every metric (test isolation)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._timers.clear()
+
+
+#: the process-wide default registry
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str) -> Counter:
+    return REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return REGISTRY.gauge(name)
+
+
+def timer(name: str) -> Timer:
+    return REGISTRY.timer(name)
+
+
+def snapshot() -> dict[str, dict]:
+    return REGISTRY.snapshot()
+
+
+def reset() -> None:
+    REGISTRY.reset()

@@ -1,0 +1,400 @@
+"""Span-based tracing and per-iteration convergence recording.
+
+The tracer answers the paper's *comparative* runtime questions (Tables
+III-VII): where does each engine spend its time, and how does its
+objective evolve per iteration?  Three pieces:
+
+* **Spans** — ``with trace.span("eplace.gp"):`` blocks that nest; each
+  completed span records its wall-clock duration, its *self* time
+  (duration minus child spans), its depth and parent.  Span stacks are
+  thread-local, so concurrently running engines (e.g. parallel SA
+  islands) trace independently and never interleave.
+* **Timers** — ``with trace.timer("eplace.gp.density"):`` aggregate
+  hot-path phases (one total + call count per name) instead of one
+  record per call, keeping traces bounded inside inner loops.
+* **Iteration records** — ``trace.record("eplace.nesterov", i, ...)``
+  captures the per-step convergence trajectory (HPWL, overflow,
+  penalty terms, gradient norm, step length) into a ring buffer.
+  Records carry no wall-clock timestamps, so two seeded runs of the
+  same engine produce *identical* traces — the determinism tests rely
+  on this.
+
+Zero overhead when disabled: with no tracer active the module-level
+``span``/``timer`` helpers return a shared no-op context manager after
+a single thread-local lookup, and ``record`` returns immediately.
+Engines activate tracing with::
+
+    with obs.tracing() as tracer:
+        result = place(circuit)
+    result.trace.phase_times()
+
+This module is the only place in ``repro`` allowed to call
+:func:`time.perf_counter`; engines take wall-clock readings through
+:class:`Stopwatch` and spans.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+class Stopwatch:
+    """Minimal monotonic wall clock: created running, read with
+    :meth:`elapsed`.  Engines use it for their ``runtime_s`` so no
+    bare ``perf_counter`` pairs live outside :mod:`repro.obs`."""
+
+    __slots__ = ("_start",)
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+
+    def elapsed(self) -> float:
+        """Seconds since construction (or the last :meth:`restart`)."""
+        return time.perf_counter() - self._start
+
+    def restart(self) -> None:
+        self._start = time.perf_counter()
+
+
+@dataclass
+class SpanRecord:
+    """One completed span.
+
+    ``start`` is seconds since the owning tracer was created;
+    ``self_s`` is ``duration`` minus the summed durations of direct
+    child spans on the same thread — self times over a whole trace sum
+    to the root spans' total, which is what the profile table prints.
+    """
+
+    name: str
+    start: float
+    duration: float
+    self_s: float
+    depth: int
+    parent: str | None
+    thread: str
+    attrs: dict = field(default_factory=dict)
+
+
+@dataclass
+class IterationRecord:
+    """One convergence sample: an engine phase, a step index, and the
+    numeric fields the engine chose to report (HPWL, overflow, ...)."""
+
+    phase: str
+    iteration: int
+    values: dict
+
+
+@dataclass
+class Trace:
+    """Immutable-by-convention snapshot of one tracer's output.
+
+    Carried by :class:`repro.placement.PlacerResult`; empty (falsy)
+    when the run was not traced.
+    """
+
+    spans: list = field(default_factory=list)
+    convergence: list = field(default_factory=list)
+    timers: dict = field(default_factory=dict)
+    counters: dict = field(default_factory=dict)
+    gauges: dict = field(default_factory=dict)
+    dropped_spans: int = 0
+    dropped_records: int = 0
+
+    def __bool__(self) -> bool:
+        return bool(
+            self.spans or self.convergence or self.timers
+            or self.counters or self.gauges
+        )
+
+    # ------------------------------------------------------------------
+    def total_span_s(self) -> float:
+        """Summed duration of root (depth-0) spans."""
+        return sum(s.duration for s in self.spans if s.depth == 0)
+
+    def phase_times(self) -> dict[str, dict[str, float]]:
+        """Aggregate spans by name.
+
+        Returns ``{name: {"calls", "total_s", "self_s"}}``; the
+        ``self_s`` column over all names sums to :meth:`total_span_s`,
+        so it partitions the traced wall-clock into phases.
+        """
+        out: dict[str, dict[str, float]] = {}
+        for s in self.spans:
+            agg = out.setdefault(
+                s.name, {"calls": 0, "total_s": 0.0, "self_s": 0.0}
+            )
+            agg["calls"] += 1
+            agg["total_s"] += s.duration
+            agg["self_s"] += s.self_s
+        return out
+
+    def convergence_by_phase(self, phase: str) -> list[IterationRecord]:
+        """The recorded iteration trajectory of one engine phase."""
+        return [r for r in self.convergence if r.phase == phase]
+
+    def stats_view(self) -> dict:
+        """Untyped-dict view of the trace for ``stats``-style consumers.
+
+        Kept for backward compatibility with code that expects placer
+        telemetry as plain dictionaries.
+        """
+        return {
+            "phase_times": self.phase_times(),
+            "timers": dict(self.timers),
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "convergence_records": len(self.convergence),
+            "spans": len(self.spans),
+            "dropped_spans": self.dropped_spans,
+            "dropped_records": self.dropped_records,
+        }
+
+
+class _NullSpan:
+    """Shared no-op context manager returned on every disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """Live (entered) span; becomes a :class:`SpanRecord` on exit."""
+
+    __slots__ = ("_tracer", "name", "attrs", "_start", "_child")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self._start = 0.0
+        self._child = 0.0
+
+    def __enter__(self) -> "_Span":
+        stack = self._tracer._stack()
+        stack.append(self)
+        self._start = self._tracer._clock.elapsed()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        end = self._tracer._clock.elapsed()
+        duration = end - self._start
+        stack = self._tracer._stack()
+        stack.pop()
+        parent = stack[-1] if stack else None
+        if parent is not None:
+            parent._child += duration
+        self._tracer._append_span(SpanRecord(
+            name=self.name,
+            start=self._start,
+            duration=duration,
+            self_s=duration - self._child,
+            depth=len(stack),
+            parent=parent.name if parent is not None else None,
+            thread=threading.current_thread().name,
+            attrs=self.attrs,
+        ))
+        return False
+
+
+class _Timer:
+    """Aggregating timer: accumulates (total_s, calls) under one name."""
+
+    __slots__ = ("_tracer", "_name", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._tracer._add_timer(
+            self._name, time.perf_counter() - self._start
+        )
+        return False
+
+
+class Tracer:
+    """Collects spans, timers and iteration records for one run.
+
+    ``convergence_capacity`` bounds the iteration-record ring buffer
+    (oldest records are dropped and counted); ``max_spans`` bounds the
+    span list the same way so long benchmark sessions cannot grow
+    traces without limit.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        convergence_capacity: int = 4096,
+        max_spans: int = 20000,
+    ) -> None:
+        self.enabled = bool(enabled)
+        self.max_spans = int(max_spans)
+        self._clock = Stopwatch()
+        self._lock = threading.Lock()
+        self._spans: list[SpanRecord] = []
+        self._dropped_spans = 0
+        self._records: deque = deque(maxlen=int(convergence_capacity))
+        self._total_records = 0
+        self._timers: dict[str, list] = {}
+        self._local = threading.local()
+
+    # -- internal ------------------------------------------------------
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _append_span(self, record: SpanRecord) -> None:
+        with self._lock:
+            if len(self._spans) >= self.max_spans:
+                self._dropped_spans += 1
+            else:
+                self._spans.append(record)
+
+    def _add_timer(self, name: str, elapsed: float) -> None:
+        with self._lock:
+            agg = self._timers.get(name)
+            if agg is None:
+                self._timers[name] = [elapsed, 1]
+            else:
+                agg[0] += elapsed
+                agg[1] += 1
+
+    # -- public --------------------------------------------------------
+    def span(self, name: str, **attrs):
+        """Context manager timing one nested phase."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name, attrs)
+
+    def timer(self, name: str):
+        """Context manager accumulating a hot-path phase by name."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Timer(self, name)
+
+    def record(self, phase: str, iteration: int, **values) -> None:
+        """Append one per-iteration convergence record."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._records.append(
+                IterationRecord(phase, int(iteration), values)
+            )
+            self._total_records += 1
+
+    def to_trace(self) -> Trace:
+        """Snapshot everything recorded so far as a :class:`Trace`.
+
+        Includes a snapshot of the global metrics registry so exported
+        traces are self-contained.
+        """
+        if not self.enabled:
+            return Trace()
+        from . import metrics as metrics_mod
+
+        snap = metrics_mod.snapshot()
+        with self._lock:
+            maxlen = self._records.maxlen or 0
+            return Trace(
+                spans=list(self._spans),
+                convergence=list(self._records),
+                timers={
+                    name: {"total_s": total, "calls": calls}
+                    for name, (total, calls) in sorted(
+                        self._timers.items()
+                    )
+                },
+                counters=snap["counters"],
+                gauges=snap["gauges"],
+                dropped_spans=self._dropped_spans,
+                dropped_records=max(
+                    0, self._total_records - maxlen
+                ),
+            )
+
+
+#: shared disabled tracer: every engine sees it when tracing is off
+NULL_TRACER = Tracer(enabled=False)
+
+_ACTIVE = threading.local()
+
+
+def current() -> Tracer:
+    """The tracer active on this thread (:data:`NULL_TRACER` if none)."""
+    tracer = getattr(_ACTIVE, "tracer", None)
+    return tracer if tracer is not None else NULL_TRACER
+
+
+def active() -> bool:
+    """True when an enabled tracer is active on this thread."""
+    tracer = getattr(_ACTIVE, "tracer", None)
+    return tracer is not None and tracer.enabled
+
+
+def span(name: str, **attrs):
+    """Module-level :meth:`Tracer.span` against the active tracer."""
+    tracer = getattr(_ACTIVE, "tracer", None)
+    if tracer is None or not tracer.enabled:
+        return _NULL_SPAN
+    return _Span(tracer, name, attrs)
+
+
+def timer(name: str):
+    """Module-level :meth:`Tracer.timer` against the active tracer."""
+    tracer = getattr(_ACTIVE, "tracer", None)
+    if tracer is None or not tracer.enabled:
+        return _NULL_SPAN
+    return _Timer(tracer, name)
+
+
+def record(phase: str, iteration: int, **values) -> None:
+    """Module-level :meth:`Tracer.record` against the active tracer."""
+    tracer = getattr(_ACTIVE, "tracer", None)
+    if tracer is not None:
+        tracer.record(phase, iteration, **values)
+
+
+@contextmanager
+def tracing(
+    enabled: bool = True,
+    convergence_capacity: int = 4096,
+    max_spans: int = 20000,
+):
+    """Activate a fresh :class:`Tracer` on this thread for the block.
+
+    Nests: the previous tracer (if any) is restored on exit, so test
+    fixtures and CLI flags can layer without coordination.
+    """
+    tracer = Tracer(
+        enabled=enabled,
+        convergence_capacity=convergence_capacity,
+        max_spans=max_spans,
+    )
+    previous = getattr(_ACTIVE, "tracer", None)
+    _ACTIVE.tracer = tracer
+    try:
+        yield tracer
+    finally:
+        _ACTIVE.tracer = previous

@@ -15,8 +15,6 @@ likewise trains one model per design and uses it across methods.
 
 from __future__ import annotations
 
-import time
-
 from ..annealing import SAParams, SimulatedAnnealingPlacer, anneal_place
 from ..api import place_eplace_a
 from ..eplace import EPlaceParams, eplace_global
@@ -24,6 +22,7 @@ from ..gnn import PerformanceModel, TrainReport, train_performance_model
 from ..legalize import DetailedParams, detailed_place, \
     lp_two_stage_detailed_placement
 from ..netlist import Circuit
+from ..obs import trace
 from ..placement import PlacerResult
 from ..xu_ispd19 import XuParams
 from .eplace_ap import EPlaceAPGlobalPlacer
@@ -72,7 +71,8 @@ def place_eplace_ap(
     """
     from .refine import _score
 
-    start = time.perf_counter()
+    tracer = trace.current()
+    clock = trace.Stopwatch()
     gp_params = gp_params or EPlaceParams(utilization=0.8, eta=0.3)
     gp = EPlaceAPGlobalPlacer(circuit, perf_model, gp_params,
                               alpha=alpha).place()
@@ -104,10 +104,11 @@ def place_eplace_ap(
     refine_stats["started_from"] = started_from
     return PlacerResult(
         placement=refined,
-        runtime_s=time.perf_counter() - start,
+        runtime_s=clock.elapsed(),
         method="eplace-ap",
         stats={"gp": gp.stats, "dp": dp.stats, "refine": refine_stats,
                "gp_runtime_s": gp.runtime_s, "dp_runtime_s": dp.runtime_s},
+        trace=tracer.to_trace(),
     )
 
 
@@ -122,7 +123,8 @@ def place_perf_xu(
     from ..xu_ispd19 import xu_global
     from .refine import _score
 
-    start = time.perf_counter()
+    tracer = trace.current()
+    clock = trace.Stopwatch()
     dp_params = dp_params or DetailedParams(allow_flipping=False)
     gp = XuPerfGlobalPlacer(circuit, perf_model, gp_params,
                             alpha=alpha).place()
@@ -137,10 +139,11 @@ def place_perf_xu(
         chosen = baseline.placement
     return PlacerResult(
         placement=chosen,
-        runtime_s=time.perf_counter() - start,
+        runtime_s=clock.elapsed(),
         method="perf-xu",
         stats={"gp": gp.stats, "dp": dp.stats,
                "gp_runtime_s": gp.runtime_s, "dp_runtime_s": dp.runtime_s},
+        trace=tracer.to_trace(),
     )
 
 
@@ -172,7 +175,7 @@ def place_perf_sa(
 
     from .refine import _score
 
-    start = time.perf_counter()
+    clock = trace.Stopwatch()
     placer = SimulatedAnnealingPlacer(
         circuit, effective, cost_hook=perf_model.phi_placement
     )
@@ -191,7 +194,7 @@ def place_perf_sa(
             method="perf-sa",
             stats=dict(baseline.stats, fallback="conventional"),
         )
-    result.runtime_s = time.perf_counter() - start
+    result.runtime_s = clock.elapsed()
     result.method = "perf-sa"
     return result
 

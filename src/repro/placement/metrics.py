@@ -105,11 +105,37 @@ def utilization(placement: Placement) -> float:
     return placement.circuit.total_device_area() / area
 
 
-def summarize(placement: Placement) -> dict[str, float]:
-    """One-call metric bundle used by the experiment harness."""
-    return {
+def summarize(
+    placement: Placement, runtime_s: float | None = None
+) -> dict[str, float]:
+    """One-call metric bundle used by the experiment harness.
+
+    Keys (all floats; µm-based units match the paper's tables):
+
+    ``hpwl``
+        Weighted total half-perimeter wirelength, in µm
+        (:func:`hpwl` with ``weighted=True``).
+    ``area``
+        Bounding-box area of all device outlines, in µm²
+        (:func:`bounding_area`).
+    ``overlap``
+        Summed pairwise device overlap area, in µm²; 0 for a legal
+        placement (:func:`total_overlap`).
+    ``utilization``
+        Total device area over bounding-box area, in (0, 1] for legal
+        placements (:func:`utilization`).
+    ``runtime_s``
+        Wall-clock runtime of the run that produced the placement, in
+        seconds.  Part of the schema so downstream benchmark JSON is
+        self-describing; present only when the caller supplies it
+        (a bare placement has no runtime).
+    """
+    out = {
         "hpwl": hpwl(placement),
         "area": bounding_area(placement),
         "overlap": total_overlap(placement),
         "utilization": utilization(placement),
     }
+    if runtime_s is not None:
+        out["runtime_s"] = float(runtime_s)
+    return out

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..obs.trace import Trace
 from .metrics import summarize
 from .placement import Placement
 
@@ -12,17 +13,33 @@ from .placement import Placement
 class PlacerResult:
     """Outcome of a placement run (global, detailed, or end-to-end).
 
-    ``stats`` holds method-specific telemetry (iteration counts, final
-    objective terms, ILP status, annealing schedule data, ...).
+    ``trace`` is the typed observability record of the run — per-phase
+    spans, aggregated hot-path timers and the per-iteration convergence
+    trajectory (see :mod:`repro.obs`).  It is empty (falsy) when the
+    run was executed without an active tracer.
+
+    ``stats`` holds method-specific summary telemetry (iteration
+    counts, final objective terms, ILP status, annealing schedule
+    data, ...) and is kept as the backward-compatible untyped view;
+    phase-attributable timing now lives in ``trace``
+    (:meth:`phase_times` / :meth:`repro.obs.Trace.stats_view`).
     """
 
     placement: Placement
     runtime_s: float
     method: str
     stats: dict = field(default_factory=dict)
+    trace: Trace = field(default_factory=Trace)
 
     def metrics(self) -> dict[str, float]:
-        """Exact quality metrics of the resulting placement."""
-        out = summarize(self.placement)
-        out["runtime_s"] = self.runtime_s
-        return out
+        """Exact quality metrics of the resulting placement.
+
+        Delegates to :func:`repro.placement.metrics.summarize` with
+        this run's ``runtime_s``; see that docstring for the key
+        schema.
+        """
+        return summarize(self.placement, runtime_s=self.runtime_s)
+
+    def phase_times(self) -> dict[str, dict[str, float]]:
+        """Per-phase span timing aggregated by name (empty untraced)."""
+        return self.trace.phase_times()

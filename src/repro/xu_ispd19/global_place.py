@@ -11,7 +11,6 @@ cited difference, lives in the detailed placers).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -24,7 +23,11 @@ from ..analytic import (
     lse_wirelength,
 )
 from ..netlist import Circuit
+from ..obs import metrics, trace
+from ..obs.log import get_logger
 from ..placement import Placement, PlacerResult
+
+logger = get_logger("xu_ispd19")
 
 
 @dataclass
@@ -93,17 +96,22 @@ class XuGlobalPlacer:
             # CG has no projection, so out-of-region excursions are
             # penalised quadratically instead
             x, y = v[:n], v[n:]
-            value, gx, gy = lse_wirelength(self.arrays, x, y, self.gamma)
-            dv, dgx, dgy = self.density.penalty_and_grad(x, y)
+            with trace.timer("xu.gp.wirelength"):
+                value, gx, gy = lse_wirelength(
+                    self.arrays, x, y, self.gamma
+                )
+            with trace.timer("xu.gp.density"):
+                dv, dgx, dgy = self.density.penalty_and_grad(x, y)
             value += lam * dv
             gx = gx + lam * dgx
             gy = gy + lam * dgy
-            sv, sgx, sgy = self.penalties.symmetry(x, y)
-            value += tau * sv
-            gx += tau * sgx
-            gy += tau * sgy
-            av, agx, agy = self.penalties.alignment(x, y)
-            ov, ogx, ogy = self.penalties.ordering(x, y)
+            with trace.timer("xu.gp.penalties"):
+                sv, sgx, sgy = self.penalties.symmetry(x, y)
+                value += tau * sv
+                gx += tau * sgx
+                gy += tau * sgy
+                av, agx, agy = self.penalties.alignment(x, y)
+                ov, ogx, ogy = self.penalties.ordering(x, y)
             value += p.align_weight * av + p.order_weight * ov
             gx += p.align_weight * agx + p.order_weight * ogx
             gy += p.align_weight * agy + p.order_weight * ogy
@@ -124,37 +132,76 @@ class XuGlobalPlacer:
 
     # ------------------------------------------------------------------
     def place(self) -> PlacerResult:
-        start = time.perf_counter()
-        p = self.params
-        x, y = self.initial_positions()
-        n = self.circuit.num_devices
-        v = np.concatenate([x, y])
+        tracer = trace.current()
+        clock = trace.Stopwatch()
+        with tracer.span("xu.gp", circuit=self.circuit.name):
+            result = self._place(tracer, clock)
+        metrics.counter("repro.global_placements").inc()
+        result.trace = tracer.to_trace()  # now includes the root span
+        return result
 
-        # self-scaled initial density weight, as in the ePlace-A placer
-        _, gx, gy = lse_wirelength(self.arrays, x, y, self.gamma)
-        wl_norm = float(np.linalg.norm(np.concatenate([gx, gy])))
-        self._wl_norm0 = wl_norm  # reused by performance-driven subclass
-        _, dgx, dgy = self.density.penalty_and_grad(x, y)
-        den_norm = float(np.linalg.norm(np.concatenate([dgx, dgy])))
+    def _place(
+        self, tracer: trace.Tracer, clock: trace.Stopwatch
+    ) -> PlacerResult:
+        p = self.params
+        with tracer.span("xu.gp.init"):
+            x, y = self.initial_positions()
+            n = self.circuit.num_devices
+            v = np.concatenate([x, y])
+
+            # self-scaled initial density weight, as in ePlace-A
+            _, gx, gy = lse_wirelength(self.arrays, x, y, self.gamma)
+            wl_norm = float(np.linalg.norm(np.concatenate([gx, gy])))
+            self._wl_norm0 = wl_norm  # reused by perf-driven subclass
+            _, dgx, dgy = self.density.penalty_and_grad(x, y)
+            den_norm = float(
+                np.linalg.norm(np.concatenate([dgx, dgy]))
+            )
         lam = p.lambda_init_ratio * wl_norm / max(den_norm, 1e-12)
         tau = p.tau * max(wl_norm, 1.0)
 
         history = []
         for stage in range(p.stages):
             fun = self._objective(lam, tau)
-            result = conjugate_gradient(
-                fun, v, iterations=p.cg_iterations, tol=1e-9,
-                alpha0=self.region / self.params.bins,
-            )
+            callback = None
+            if tracer.enabled:
+                base = stage * p.cg_iterations
+                lam_now = lam
+
+                def callback(it, value, grad_norm, step, _base=base,
+                             _stage=stage, _lam=lam_now):
+                    tracer.record(
+                        "xu.cg", _base + it,
+                        stage=_stage, value=value,
+                        grad_norm=grad_norm, step_length=step,
+                        density_weight=_lam,
+                    )
+            with tracer.span("xu.gp.stage", stage=stage):
+                result = conjugate_gradient(
+                    fun, v, iterations=p.cg_iterations, tol=1e-9,
+                    alpha0=self.region / self.params.bins,
+                    callback=callback,
+                )
             v = result.v
             history.append((stage, result.value, lam))
+            if tracer.enabled:
+                tracer.record(
+                    "xu.stage", stage,
+                    value=result.value,
+                    grad_norm=result.grad_norm,
+                    density_weight=lam,
+                    hpwl=self._exact_hpwl(v[:n], v[n:]),
+                )
             lam *= p.lambda_mult
 
         placement = Placement(self.circuit, v[:n], v[n:])
-        runtime = time.perf_counter() - start
+        logger.debug(
+            "xu GP %s: %d stages, final lambda %.3g",
+            self.circuit.name, p.stages, lam,
+        )
         return PlacerResult(
             placement=placement,
-            runtime_s=runtime,
+            runtime_s=clock.elapsed(),
             method="xu-ispd19-gp",
             stats={
                 "stages": p.stages,
@@ -163,6 +210,17 @@ class XuGlobalPlacer:
                 "history": history,
             },
         )
+
+    def _exact_hpwl(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Exact (non-smoothed) weighted HPWL at unflipped positions."""
+        a = self.arrays
+        px = x[a.pin_dev] + a.pin_offx
+        py = y[a.pin_dev] + a.pin_offy
+        spans = (
+            a.segment_max(px) - a.segment_min(px)
+            + a.segment_max(py) - a.segment_min(py)
+        )
+        return float(np.dot(a.weights, spans))
 
 
 def xu_global(

@@ -1,7 +1,6 @@
 """Nesterov and conjugate-gradient solver tests."""
 
 import numpy as np
-import pytest
 
 from repro.analytic import NesterovOptimizer, conjugate_gradient
 

@@ -2,8 +2,19 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
+
+# Deterministic property-based testing: random exploration has found
+# real pre-seed solver bugs (see ROADMAP "Open items"), but a CI gate
+# must not depend on the RNG rediscovering them.  Exploratory fuzzing
+# can opt back in with HYPOTHESIS_PROFILE=explore.
+settings.register_profile("ci", derandomize=True)
+settings.register_profile("explore", derandomize=False)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 
 from repro.annealing import SAParams
 from repro.circuits import adder, cc_ota, comp1, vco1

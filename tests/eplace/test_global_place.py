@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.eplace import EPlaceGlobalPlacer, EPlaceParams, eplace_global
-from repro.placement import hpwl, total_overlap, utilization
+from repro.placement import total_overlap, utilization
 
 
 class TestParams:

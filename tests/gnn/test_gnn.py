@@ -11,7 +11,6 @@ from repro.gnn import (
     generate_dataset,
 )
 from repro.gnn.dataset import _random_packing, augment_dataset
-from repro.placement import Placement
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,61 @@
+"""Seeded runs are bit-reproducible — placements *and* traces.
+
+Convergence records deliberately carry no wall-clock values, so two
+seeded runs of the same engine must produce identical iteration
+trajectories; any divergence means hidden nondeterminism crept into a
+solver (unseeded RNG, set iteration order, ...).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.api import place
+
+
+def _run(circuit, method, **kwargs):
+    with obs.tracing() as tracer:
+        result = place(circuit, method, **kwargs)
+    if not result.trace:
+        result.trace = tracer.to_trace()
+    return result
+
+
+def _convergence_key(trace):
+    return [
+        (r.phase, r.iteration, sorted(r.values.items()))
+        for r in trace.convergence
+    ]
+
+
+def _method_kwargs(method, fast_gp_params, fast_dp_params,
+                   fast_sa_params):
+    if method == "eplace-a":
+        return {"gp_params": fast_gp_params, "dp_params": fast_dp_params}
+    if method == "xu-ispd19":
+        return {}
+    return {"params": fast_sa_params}
+
+
+@pytest.mark.parametrize("method", ["eplace-a", "xu-ispd19",
+                                    "annealing"])
+def test_seeded_runs_identical(method, comp1_circuit, fast_gp_params,
+                               fast_dp_params, fast_sa_params):
+    kwargs = _method_kwargs(method, fast_gp_params, fast_dp_params,
+                            fast_sa_params)
+    first = _run(comp1_circuit, method, **kwargs)
+    second = _run(comp1_circuit, method, **kwargs)
+
+    assert np.array_equal(first.placement.x, second.placement.x)
+    assert np.array_equal(first.placement.y, second.placement.y)
+    assert np.array_equal(first.placement.flip_x,
+                          second.placement.flip_x)
+    assert np.array_equal(first.placement.flip_y,
+                          second.placement.flip_y)
+
+    key_a = _convergence_key(first.trace)
+    key_b = _convergence_key(second.trace)
+    assert key_a, f"{method} recorded no convergence trajectory"
+    assert key_a == key_b

@@ -1,6 +1,5 @@
 """Circuit container unit tests."""
 
-import numpy as np
 import pytest
 
 from repro.netlist import (

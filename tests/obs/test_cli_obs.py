@@ -1,0 +1,67 @@
+"""CLI observability surface: --trace-out, --profile, -v, aliases."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main, resolve_circuit
+
+
+def test_circuit_alias_normalisation():
+    assert resolve_circuit("CM-OTA1") == "CM-OTA1"
+    assert resolve_circuit("cmota1") == "CM-OTA1"
+    assert resolve_circuit("cm_ota1") == "CM-OTA1"
+    assert resolve_circuit("comp1") == "Comp1"
+    with pytest.raises(SystemExit):
+        resolve_circuit("nosuch")
+
+
+def test_place_trace_out_and_profile(tmp_path, capsys):
+    out = tmp_path / "trace.jsonl"
+    rc = main([
+        "place", "--method", "annealing", "--circuit", "comp1",
+        "--sa-iterations", "600", "--trace-out", str(out), "--profile",
+    ])
+    assert rc == 0
+    captured = capsys.readouterr().out
+    assert "runtime" in captured
+    assert "total (sum of self)" in captured  # the --profile table
+    records = [json.loads(line)
+               for line in out.read_text().splitlines()]
+    assert records[0]["type"] == "meta"
+    assert records[0]["circuit"] == "Comp1"
+    types = {r["type"] for r in records}
+    assert {"meta", "span", "iteration"} <= types
+    span_names = {r["name"] for r in records if r["type"] == "span"}
+    assert "sa.place" in span_names and "sa.stage" in span_names
+
+
+def test_place_positional_circuit_still_works(capsys):
+    rc = main(["place", "comp1", "--method", "annealing",
+               "--sa-iterations", "400"])
+    assert rc == 0
+    assert "method   : annealing" in capsys.readouterr().out
+
+
+def test_place_requires_a_circuit():
+    with pytest.raises(SystemExit):
+        main(["place", "--method", "annealing"])
+
+
+def test_list_runs(capsys):
+    assert main(["list"]) == 0
+    assert "Comp1" in capsys.readouterr().out
+
+
+def test_verbose_flag_configures_logging():
+    import logging
+
+    root = logging.getLogger("repro")
+    saved = (list(root.handlers), root.level, root.propagate)
+    try:
+        main(["-v", "list"])
+        assert root.level == logging.INFO
+    finally:
+        root.handlers, root.level, root.propagate = saved

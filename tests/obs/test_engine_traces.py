@@ -1,0 +1,146 @@
+"""Every engine reports its per-phase spans and convergence records.
+
+These are the instrumentation contracts the ``--profile`` table and the
+paper's runtime breakdowns depend on: GP engines split objective
+timers / density from the solver loop, ILP/LP split model build from
+solve, SA reports one span + record per temperature stage.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.annealing import anneal_place
+from repro.eplace import eplace_global
+from repro.legalize import (
+    detailed_place,
+    ilp_detailed_placement,
+    lp_two_stage_detailed_placement,
+)
+from repro.obs import trace
+from repro.xu_ispd19 import XuParams, xu_global
+
+
+@pytest.fixture
+def tracer():
+    with obs.tracing() as t:
+        yield t
+
+
+def test_eplace_gp_spans_and_convergence(comp1_circuit, fast_gp_params,
+                                         tracer):
+    result = eplace_global(comp1_circuit, fast_gp_params)
+    t = result.trace
+    phases = t.phase_times()
+    assert {"eplace.gp", "eplace.gp.init",
+            "eplace.gp.nesterov"} <= set(phases)
+    # objective split into hot-path timers
+    assert {"eplace.gp.wirelength", "eplace.gp.density",
+            "eplace.gp.area"} <= set(t.timers)
+    conv = t.convergence_by_phase("eplace.nesterov")
+    assert len(conv) == result.stats["iterations"]
+    sample = conv[-1].values
+    for key in ("value", "grad_norm", "step_length", "overflow",
+                "hpwl", "density_weight"):
+        assert key in sample, key
+    # iterations count upward
+    assert conv[0].iteration < conv[-1].iteration
+
+
+def test_xu_gp_spans_and_convergence(comp1_circuit, tracer):
+    params = XuParams(cg_iterations=30, stages=3)
+    result = xu_global(comp1_circuit, params)
+    t = result.trace
+    phases = t.phase_times()
+    assert {"xu.gp", "xu.gp.init", "xu.gp.stage"} <= set(phases)
+    assert phases["xu.gp.stage"]["calls"] == params.stages
+    assert {"xu.gp.wirelength", "xu.gp.density"} <= set(t.timers)
+    stage_recs = t.convergence_by_phase("xu.stage")
+    assert len(stage_recs) == params.stages
+    assert "hpwl" in stage_recs[-1].values
+    cg_recs = t.convergence_by_phase("xu.cg")
+    assert cg_recs, "per-CG-step records missing"
+    assert {"value", "grad_norm", "step_length"} <= set(
+        cg_recs[0].values
+    )
+
+
+def test_sa_spans_one_per_temperature_stage(comp1_circuit,
+                                            fast_sa_params, tracer):
+    result = anneal_place(comp1_circuit, fast_sa_params)
+    t = result.trace
+    phases = t.phase_times()
+    assert {"sa.place", "sa.islands", "sa.probe",
+            "sa.stage"} <= set(phases)
+    expected_stages = -(-fast_sa_params.iterations //
+                        fast_sa_params.moves_per_temp)
+    assert phases["sa.stage"]["calls"] == expected_stages
+    recs = t.convergence_by_phase("sa.stage")
+    assert len(recs) == expected_stages
+    for key in ("temperature", "cost", "best_cost", "accepted"):
+        assert key in recs[0].values
+    # temperature decays monotonically across stages
+    temps = [r.values["temperature"] for r in recs]
+    assert temps[0] > temps[-1]
+    assert t.timers["sa.cost"]["calls"] == fast_sa_params.iterations
+
+
+def test_ilp_splits_model_build_from_solve(comp1_circuit,
+                                           fast_gp_params,
+                                           fast_dp_params, tracer):
+    gp = eplace_global(comp1_circuit, fast_gp_params)
+    dp = ilp_detailed_placement(gp.placement, fast_dp_params)
+    phases = dp.trace.phase_times()
+    assert {"legalize.ilp", "legalize.ilp.model",
+            "legalize.ilp.solve"} <= set(phases)
+    assert dp.trace.counters.get("repro.milp_solves", 0) >= 1
+
+
+def test_detailed_place_iterate_and_refine_spans(comp1_circuit,
+                                                 fast_gp_params, tracer):
+    from repro.legalize import DetailedParams
+
+    gp = eplace_global(comp1_circuit, fast_gp_params)
+    dp = detailed_place(gp.placement, DetailedParams(
+        iterate_rounds=2, refine_rounds=1, time_limit_s=20.0,
+        refine_time_limit_s=5.0))
+    phases = dp.trace.phase_times()
+    assert {"legalize.ilp", "legalize.ilp.model", "legalize.ilp.solve",
+            "legalize.ilp.iterate",
+            "legalize.ilp.refine"} <= set(phases)
+
+
+def test_lp_two_stage_spans(comp1_circuit, fast_gp_params, tracer):
+    from repro.legalize import DetailedParams
+
+    gp = eplace_global(comp1_circuit, fast_gp_params)
+    dp = lp_two_stage_detailed_placement(
+        gp.placement, DetailedParams(allow_flipping=False))
+    phases = dp.trace.phase_times()
+    assert {"legalize.lp2", "legalize.lp2.model", "legalize.lp2.stage1",
+            "legalize.lp2.stage2"} <= set(phases)
+    assert dp.trace.counters.get("repro.lp_solves", 0) >= 2
+
+
+def test_untraced_run_has_empty_trace(comp1_circuit, fast_gp_params):
+    assert trace.current() is trace.NULL_TRACER
+    result = eplace_global(comp1_circuit, fast_gp_params)
+    assert not result.trace
+    assert result.trace.phase_times() == {}
+
+
+def test_flow_profile_self_times_cover_runtime(comp1_circuit,
+                                               fast_gp_params,
+                                               fast_dp_params, tracer):
+    """Acceptance: per-phase self times sum to ~the flow's runtime_s."""
+    from repro.api import place
+
+    result = place(comp1_circuit, "eplace-a",
+                   gp_params=fast_gp_params, dp_params=fast_dp_params)
+    t = result.trace
+    assert t.total_span_s() == pytest.approx(result.runtime_s,
+                                             rel=0.10)
+    assert sum(
+        agg["self_s"] for agg in t.phase_times().values()
+    ) == pytest.approx(t.total_span_s(), rel=1e-6)

@@ -1,0 +1,130 @@
+"""Unit tests for the metrics registry, JSONL export and profile table."""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import pytest
+
+from repro import obs
+from repro.obs import metrics, trace
+from repro.obs.log import configure, get_logger, verbosity_level
+
+
+@pytest.fixture
+def registry():
+    reg = metrics.MetricsRegistry()
+    yield reg
+    reg.reset()
+
+
+def test_counter_gauge_timer_snapshot(registry):
+    registry.counter("solves").inc()
+    registry.counter("solves").inc(2.0)
+    registry.gauge("vars").set(17)
+    with registry.timer("build"):
+        pass
+    snap = registry.snapshot()
+    assert snap["counters"] == {"solves": 3.0}
+    assert snap["gauges"] == {"vars": 17.0}
+    assert snap["timers"]["build"]["calls"] == 1
+    registry.reset()
+    empty = registry.snapshot()
+    assert empty == {"counters": {}, "gauges": {}, "timers": {}}
+
+
+def test_global_registry_snapshot_lands_in_trace():
+    metrics.reset()
+    try:
+        with trace.tracing() as tracer:
+            metrics.counter("repro.test_counter").inc(5)
+            metrics.gauge("repro.test_gauge").set(2.5)
+        t = tracer.to_trace()
+        assert t.counters["repro.test_counter"] == 5.0
+        assert t.gauges["repro.test_gauge"] == 2.5
+    finally:
+        metrics.reset()
+
+
+def _sample_trace():
+    metrics.reset()
+    with trace.tracing() as tracer:
+        with trace.span("root", circuit="tiny"):
+            with trace.span("child"):
+                with trace.timer("hot"):
+                    pass
+        for i in range(3):
+            trace.record("conv", i, hpwl=float(i), grad_norm=0.1)
+        metrics.counter("repro.sample").inc()
+    t = tracer.to_trace()
+    metrics.reset()
+    return t
+
+
+def test_jsonl_round_trip(tmp_path):
+    t = _sample_trace()
+    path = tmp_path / "trace.jsonl"
+    count = obs.write_jsonl(t, path, method="unit", runtime_s=0.5)
+    lines = path.read_text().splitlines()
+    assert len(lines) == count
+    records = [json.loads(line) for line in lines]
+    header = records[0]
+    assert header["type"] == "meta"
+    assert header["method"] == "unit"
+    assert header["runtime_s"] == 0.5
+    assert header["spans"] == 2 and header["iterations"] == 3
+    by_type = {}
+    for rec in records:
+        by_type.setdefault(rec["type"], []).append(rec)
+    assert {r["name"] for r in by_type["span"]} == {"root", "child"}
+    root = next(r for r in by_type["span"] if r["name"] == "root")
+    assert root["depth"] == 0 and root["parent"] is None
+    assert root["attrs"] == {"circuit": "tiny"}
+    iters = by_type["iteration"]
+    assert [r["iteration"] for r in iters] == [0, 1, 2]
+    assert iters[2]["hpwl"] == 2.0 and "grad_norm" in iters[2]
+    assert by_type["timer"][0]["name"] == "hot"
+    assert by_type["counter"][0] == {
+        "type": "counter", "name": "repro.sample", "value": 1.0,
+    }
+
+
+def test_format_profile_partitions_total():
+    t = _sample_trace()
+    table = obs.format_profile(t, runtime_s=0.25)
+    assert "root" in table and "child" in table
+    assert "total (sum of self)" in table
+    assert "reported runtime_s" in table
+    assert "hot" in table  # the timer section
+    # self percentages sum to ~100
+    pcts = [
+        float(line.rsplit("%", 1)[0].rsplit(None, 1)[-1])
+        for line in table.splitlines()
+        if line.endswith("%") and not line.endswith("self %")
+        and "total (sum of self)" not in line
+    ]
+    assert sum(pcts) == pytest.approx(100.0, abs=0.5)
+
+
+def test_format_profile_empty_trace():
+    assert "empty trace" in obs.format_profile(trace.Trace())
+
+
+def test_logging_namespace_and_configure():
+    logger = get_logger("eplace")
+    assert logger.name == "repro.eplace"
+    assert verbosity_level(0) == logging.WARNING
+    assert verbosity_level(1) == logging.INFO
+    assert verbosity_level(2) == logging.DEBUG
+    assert verbosity_level(9) == logging.DEBUG
+    root = logging.getLogger("repro")
+    saved = (list(root.handlers), root.level, root.propagate)
+    try:
+        configure(1)
+        configure(2)  # idempotent: no handler duplication
+        ours = [h for h in root.handlers if getattr(h, "_repro_cli", False)]
+        assert len(ours) == 1
+        assert root.level == logging.DEBUG
+    finally:
+        root.handlers, root.level, root.propagate = saved

@@ -1,0 +1,154 @@
+"""Unit tests for the span tracer core (repro.obs.trace)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import trace
+
+
+def test_no_active_tracer_is_null():
+    assert trace.current() is trace.NULL_TRACER
+    assert not trace.active()
+    # the module-level helpers must be no-ops, not errors
+    with trace.span("orphan"):
+        with trace.timer("orphan.timer"):
+            pass
+    trace.record("orphan", 0, value=1.0)
+    assert not trace.NULL_TRACER.to_trace()
+
+
+def test_disabled_tracer_returns_empty_falsy_trace():
+    tracer = trace.Tracer(enabled=False)
+    with tracer.span("a"):
+        pass
+    tracer.record("p", 0, v=1.0)
+    t = tracer.to_trace()
+    assert not t
+    assert t.spans == [] and t.convergence == []
+
+
+def test_span_nesting_depth_parent_and_self_time():
+    with trace.tracing() as tracer:
+        with trace.span("outer", circuit="tiny"):
+            with trace.span("inner"):
+                pass
+            with trace.span("inner"):
+                pass
+    t = tracer.to_trace()
+    by_name = {}
+    for s in t.spans:
+        by_name.setdefault(s.name, []).append(s)
+    (outer,) = by_name["outer"]
+    inners = by_name["inner"]
+    assert outer.depth == 0 and outer.parent is None
+    assert outer.attrs == {"circuit": "tiny"}
+    assert all(s.depth == 1 and s.parent == "outer" for s in inners)
+    # self time = duration minus children, and it partitions the total
+    child_total = sum(s.duration for s in inners)
+    assert outer.self_s == pytest.approx(outer.duration - child_total)
+    assert sum(s.self_s for s in t.spans) == pytest.approx(
+        t.total_span_s()
+    )
+
+
+def test_phase_times_aggregates_calls():
+    with trace.tracing() as tracer:
+        for _ in range(3):
+            with trace.span("phase.x"):
+                pass
+    phases = tracer.to_trace().phase_times()
+    assert phases["phase.x"]["calls"] == 3
+    assert phases["phase.x"]["total_s"] >= 0.0
+
+
+def test_timer_aggregates_instead_of_per_call_records():
+    with trace.tracing() as tracer:
+        for _ in range(50):
+            with trace.timer("hot.loop"):
+                pass
+    t = tracer.to_trace()
+    assert t.spans == []
+    assert t.timers["hot.loop"]["calls"] == 50
+    assert t.timers["hot.loop"]["total_s"] >= 0.0
+
+
+def test_iteration_records_ring_buffer_and_drop_count():
+    with trace.tracing(convergence_capacity=10) as tracer:
+        for i in range(25):
+            trace.record("p", i, value=float(i))
+    t = tracer.to_trace()
+    assert len(t.convergence) == 10
+    assert t.dropped_records == 15
+    # ring keeps the newest records
+    assert [r.iteration for r in t.convergence] == list(range(15, 25))
+    assert t.convergence_by_phase("p")[-1].values == {"value": 24.0}
+    assert t.convergence_by_phase("other") == []
+
+
+def test_max_spans_cap_and_drop_count():
+    with trace.tracing(max_spans=5) as tracer:
+        for _ in range(8):
+            with trace.span("s"):
+                pass
+    t = tracer.to_trace()
+    assert len(t.spans) == 5
+    assert t.dropped_spans == 3
+
+
+def test_span_stacks_are_thread_local():
+    with trace.tracing() as tracer:
+        barrier = threading.Barrier(2)
+
+        def work(name):
+            # the active tracer is thread-local: re-register on workers
+            trace._ACTIVE.tracer = tracer
+            try:
+                with trace.span(name):
+                    barrier.wait(timeout=5)
+            finally:
+                trace._ACTIVE.tracer = None
+
+        threads = [
+            threading.Thread(target=work, args=(f"t{i}",), name=f"w{i}")
+            for i in range(2)
+        ]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+    t = tracer.to_trace()
+    # both spans overlap in time yet neither parents the other
+    assert sorted(s.name for s in t.spans) == ["t0", "t1"]
+    assert all(s.depth == 0 and s.parent is None for s in t.spans)
+    assert sorted(s.thread for s in t.spans) == ["w0", "w1"]
+
+
+def test_tracing_restores_previous_tracer():
+    with trace.tracing() as outer:
+        assert trace.current() is outer
+        with trace.tracing() as inner:
+            assert trace.current() is inner
+        assert trace.current() is outer
+    assert trace.current() is trace.NULL_TRACER
+
+
+def test_stopwatch_elapsed_and_restart():
+    clock = trace.Stopwatch()
+    first = clock.elapsed()
+    assert first >= 0.0
+    clock.restart()
+    assert clock.elapsed() <= first + 1.0
+
+
+def test_stats_view_shape():
+    with trace.tracing() as tracer:
+        with trace.span("a"):
+            pass
+        trace.record("p", 0, v=1.0)
+    view = tracer.to_trace().stats_view()
+    assert view["spans"] == 1
+    assert view["convergence_records"] == 1
+    assert "phase_times" in view and "a" in view["phase_times"]

@@ -12,7 +12,6 @@ from repro.parasitics import (
     critical_length,
     mismatch_distance,
 )
-from repro.placement import Placement
 
 
 @pytest.fixture(scope="module")

@@ -4,7 +4,7 @@ import pytest
 
 from repro.annealing import SAParams
 from repro.eplace import EPlaceParams
-from repro.gnn import PerformanceModel, train_performance_model
+from repro.gnn import train_performance_model
 from repro.legalize import DetailedParams
 from repro.perf_driven import (
     RefineParams,
@@ -15,7 +15,6 @@ from repro.perf_driven import (
     phi_refine,
 )
 from repro.placement import audit_constraints, total_overlap
-from repro.simulate import fom
 from repro.xu_ispd19 import XuParams
 
 

@@ -1,7 +1,5 @@
 """PlacerResult container tests."""
 
-import numpy as np
-import pytest
 
 from repro.placement import Placement, PlacerResult
 
