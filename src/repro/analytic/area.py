@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from .stable import clipped_exp, safe_div
+
 
 def _wa_extent(
     hi: np.ndarray, lo: np.ndarray, gamma: float
@@ -20,19 +22,21 @@ def _wa_extent(
 
     ``hi``/``lo`` are per-device upper/lower boundary coordinates along
     one axis; both depend on the same centre coordinate with unit
-    derivative, so the returned gradient is per-device.
+    derivative, so the returned gradient is per-device.  Exponents are
+    shifted by the extremum (≤ 0), so each sum is ≥ 1 and the guards
+    are no-ops on valid input.
     """
     m = hi.max()
-    a = np.exp((hi - m) / gamma)
+    a = clipped_exp((hi - m) / gamma)
     sum_a = a.sum()
-    f_max = float(np.dot(hi, a) / sum_a)
-    grad_max = (a / sum_a) * (1.0 + (hi - f_max) / gamma)
+    f_max = float(safe_div(np.dot(hi, a), sum_a))
+    grad_max = safe_div(a, sum_a) * (1.0 + (hi - f_max) / gamma)
 
     m = lo.min()
-    b = np.exp(-(lo - m) / gamma)
+    b = clipped_exp(-(lo - m) / gamma)
     sum_b = b.sum()
-    f_min = float(np.dot(lo, b) / sum_b)
-    grad_min = (b / sum_b) * (1.0 - (lo - f_min) / gamma)
+    f_min = float(safe_div(np.dot(lo, b), sum_b))
+    grad_min = safe_div(b, sum_b) * (1.0 - (lo - f_min) / gamma)
 
     return f_max - f_min, grad_max - grad_min
 

@@ -160,5 +160,8 @@ class DensityGrid:
 
         target = self.areas.sum() / (self.region_w * self.region_h)
         excess = np.clip(rho - max(target, 1.0), 0.0, None)
-        overflow = float(excess.sum() * self.bin_area / self.areas.sum())
+        overflow = float(
+            excess.sum() * self.bin_area
+            / max(float(self.areas.sum()), 1e-30)
+        )
         return float(energy), grad_x, grad_y, overflow

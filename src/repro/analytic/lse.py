@@ -17,25 +17,31 @@ from __future__ import annotations
 import numpy as np
 
 from .netarrays import NetArrays
+from .stable import clipped_exp, safe_div, safe_log
 
 
 def _lse_axis(
     arrays: NetArrays, coords: np.ndarray, gamma: float
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Per-net LSE span and per-pin gradient along one axis."""
+    """Per-net LSE span and per-pin gradient along one axis.
+
+    Exponents are shifted by the per-net extremum (≤ 0), so each
+    segment sum contains a unit term and is ≥ 1; the stable-helper
+    guards are no-ops on valid input and only catch kernel bugs.
+    """
     seg = arrays.pin_net
 
     seg_max = arrays.segment_max(coords)
-    a = np.exp((coords - seg_max[seg]) / gamma)
+    a = clipped_exp((coords - seg_max[seg]) / gamma)
     sum_a = arrays.segment_sum(a)
-    lse_max = seg_max + gamma * np.log(sum_a)
-    grad_max = a / sum_a[seg]
+    lse_max = seg_max + gamma * safe_log(sum_a)
+    grad_max = safe_div(a, sum_a[seg])
 
     seg_min = arrays.segment_min(coords)
-    b = np.exp(-(coords - seg_min[seg]) / gamma)
+    b = clipped_exp(-(coords - seg_min[seg]) / gamma)
     sum_b = arrays.segment_sum(b)
-    lse_min = -seg_min + gamma * np.log(sum_b)
-    grad_min = -b / sum_b[seg]
+    lse_min = -seg_min + gamma * safe_log(sum_b)
+    grad_min = -safe_div(b, sum_b[seg])
 
     return lse_max + lse_min, grad_max + grad_min
 

@@ -23,31 +23,39 @@ from __future__ import annotations
 import numpy as np
 
 from .netarrays import NetArrays
+from .stable import clipped_exp, safe_div
 
 
 def _wa_axis(
     arrays: NetArrays, coords: np.ndarray, gamma: float
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Per-net WA span and per-pin gradient along one axis."""
+    """Per-net WA span and per-pin gradient along one axis.
+
+    Exponents are shifted by the per-net extremum (≤ 0), so each
+    denominator contains a unit term and is ≥ 1; the stable-helper
+    guards are no-ops on valid input and only catch kernel bugs.
+    """
     seg = arrays.pin_net
 
     # -- max estimator ------------------------------------------------
     seg_max = arrays.segment_max(coords)
-    shifted = (coords - seg_max[seg]) / gamma
-    a = np.exp(shifted)
+    a = clipped_exp((coords - seg_max[seg]) / gamma)
     denom_max = arrays.segment_sum(a)
     numer_max = arrays.segment_sum(coords * a)
-    f_max = numer_max / denom_max
-    grad_max = (a / denom_max[seg]) * (1.0 + (coords - f_max[seg]) / gamma)
+    f_max = safe_div(numer_max, denom_max)
+    grad_max = safe_div(a, denom_max[seg]) * (
+        1.0 + (coords - f_max[seg]) / gamma
+    )
 
     # -- min estimator ------------------------------------------------
     seg_min = arrays.segment_min(coords)
-    shifted = -(coords - seg_min[seg]) / gamma
-    b = np.exp(shifted)
+    b = clipped_exp(-(coords - seg_min[seg]) / gamma)
     denom_min = arrays.segment_sum(b)
     numer_min = arrays.segment_sum(coords * b)
-    f_min = numer_min / denom_min
-    grad_min = (b / denom_min[seg]) * (1.0 - (coords - f_min[seg]) / gamma)
+    f_min = safe_div(numer_min, denom_min)
+    grad_min = safe_div(b, denom_min[seg]) * (
+        1.0 - (coords - f_min[seg]) / gamma
+    )
 
     return f_max - f_min, grad_max - grad_min
 

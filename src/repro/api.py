@@ -22,6 +22,8 @@ per-phase spans and per-iteration convergence records.
 
 from __future__ import annotations
 
+from typing import Any
+
 from .annealing import SAParams, anneal_place
 from .eplace import EPlaceParams, eplace_global
 from .legalize import DetailedParams, detailed_place, \
@@ -92,7 +94,7 @@ def place_annealing(
 
 
 def place(circuit: Circuit, method: str = "eplace-a",
-          **kwargs) -> PlacerResult:
+          **kwargs: Any) -> PlacerResult:
     """Place a circuit with the named method.
 
     ``kwargs`` forward to the method-specific entry point

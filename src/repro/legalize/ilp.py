@@ -43,6 +43,7 @@ from ..netlist import Axis
 from ..obs import metrics, trace
 from ..obs.log import get_logger
 from ..placement import Placement, PlacerResult, summarize
+from .consistency import check_consistency
 from .pairs import HORIZONTAL, _constraint_overrides, separation_constraints
 from .presym import presymmetrize
 
@@ -240,6 +241,37 @@ def _build_model(
     pseudo = float(np.sqrt(circuit.total_device_area() / params.zeta))
     pseudo_steps = pseudo / grid
     ub_coord = int(np.ceil(params.region_slack * pseudo_steps)) + 1
+
+    # pre-solve consistency certificate: the rows are axis-decoupled,
+    # so a per-axis LP decides feasibility exactly and yields the
+    # minimal outline extent the derived constraints require.  An
+    # inconsistent system fails here with the conflicting rows named;
+    # a consistent one widens ub_coord when separation chains (coupled
+    # through symmetry axes) need more room than the slack default.
+    report_x, report_y = check_consistency(
+        circuit, separations, half_w, half_h
+    )
+    bad = [r for r in (report_x, report_y) if not r.feasible]
+    if bad:
+        detail = "; ".join(
+            f"{r.axis}-axis conflict: " + ", ".join(r.conflict)
+            for r in bad
+        )
+        raise DetailedPlacementError(
+            f"inconsistent detailed-placement constraints for "
+            f"{circuit.name!r}: {detail}"
+        )
+    needed = max(report_x.min_extent, report_y.min_extent)
+    if np.isfinite(needed):
+        widened = int(np.ceil(needed)) + 4
+        if widened > ub_coord:
+            logger.debug(
+                "ILP %s: widening coordinate bound %d -> %d steps to "
+                "fit minimal extents (x %.1f, y %.1f)",
+                circuit.name, ub_coord, widened,
+                report_x.min_extent, report_y.min_extent,
+            )
+            ub_coord = widened
 
     # ------------------------------------------------------------------
     # variable layout

@@ -1,0 +1,96 @@
+"""API-hygiene rule: the public surface carries types and docs.
+
+``repro.api`` and ``repro.placement`` are what experiments, benchmarks
+and downstream users import; the mypy gate checks the annotations'
+*consistency*, this rule checks their *presence* (plus docstrings) so
+an untyped function can't slip into the public surface in the first
+place.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Finding, ModuleInfo, Rule, register
+
+
+def _missing_annotations(
+    func: ast.FunctionDef | ast.AsyncFunctionDef, is_method: bool
+) -> list[str]:
+    """Names of parameters lacking annotations (plus 'return')."""
+    missing: list[str] = []
+    args = func.args
+    positional = list(args.posonlyargs) + list(args.args)
+    if is_method and positional:
+        positional = positional[1:]  # self / cls
+    for arg in positional + list(args.kwonlyargs):
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    if args.vararg is not None and args.vararg.annotation is None:
+        missing.append("*" + args.vararg.arg)
+    if args.kwarg is not None and args.kwarg.annotation is None:
+        missing.append("**" + args.kwarg.arg)
+    if func.returns is None:
+        missing.append("return")
+    return missing
+
+
+@register
+class ApiHygieneRule(Rule):
+    """RPR301: public api/placement callables are typed + documented."""
+
+    id = "RPR301"
+    name = "api-hygiene"
+    summary = (
+        "public functions and methods in repro.api and repro.placement "
+        "need full type hints and a docstring"
+    )
+    scopes = ("repro/api.py", "repro/placement/")
+
+    def _check_function(
+        self,
+        module: ModuleInfo,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        qualifier: str,
+        is_method: bool,
+    ) -> Iterator[Finding]:
+        name = f"{qualifier}{func.name}"
+        missing = _missing_annotations(func, is_method)
+        # property setters and dunders other than __init__ are
+        # implementation detail; __init__'s contract is the class doc
+        if missing:
+            yield self.finding(
+                module, func,
+                f"public {'method' if is_method else 'function'} "
+                f"{name}() lacks type hints for: {', '.join(missing)}",
+            )
+        if ast.get_docstring(func) is None:
+            yield self.finding(
+                module, func,
+                f"public {'method' if is_method else 'function'} "
+                f"{name}() has no docstring",
+            )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for stmt in module.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if stmt.name.startswith("_"):
+                    continue
+                yield from self._check_function(
+                    module, stmt, "", is_method=False
+                )
+            elif isinstance(stmt, ast.ClassDef):
+                if stmt.name.startswith("_"):
+                    continue
+                for member in stmt.body:
+                    if not isinstance(
+                        member,
+                        (ast.FunctionDef, ast.AsyncFunctionDef),
+                    ):
+                        continue
+                    if member.name.startswith("_"):
+                        continue
+                    yield from self._check_function(
+                        module, member, f"{stmt.name}.", is_method=True
+                    )

@@ -1,0 +1,231 @@
+"""Numerical-safety rules for the analytic smoothing kernels.
+
+The LSE/WA/bell/eDensity kernels live on ``exp``/``log`` and ratios of
+exponential sums; an unshifted exponent overflows silently to ``inf``
+(then ``nan`` in the gradient) and a denominator that loses its
+guaranteed mass divides by zero — both corrupt placements without
+failing any assertion.  These rules force every ``np.exp``/``np.log``
+argument through an explicit clip (or the :mod:`repro.analytic.stable`
+helpers) and every data-dependent denominator through an epsilon
+guard.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import (
+    Finding,
+    ModuleInfo,
+    Rule,
+    assignment_map,
+    contains_call,
+    register,
+)
+
+#: calls that bound an expression's range (directly or via helpers)
+_CLIP_GUARDS = frozenset({
+    "clip", "minimum", "maximum", "clipped_exp", "safe_log", "safe_exp",
+    "where", "tanh",
+})
+
+#: calls that make a denominator safe
+_DIV_GUARDS = frozenset({
+    "maximum", "clip", "max", "where", "safe_div", "hypot", "norm",
+})
+
+#: functions whose argument must be range-guarded
+_EXP_LOG = frozenset({
+    "numpy.exp", "numpy.expm1", "numpy.exp2",
+    "numpy.log", "numpy.log2", "numpy.log10",
+    "math.exp", "math.log",
+})
+
+
+def _scope_assignments(
+    module: ModuleInfo,
+    node: ast.AST,
+    cache: dict[ast.AST, dict[str, ast.expr]],
+) -> dict[str, ast.expr]:
+    scope = module.enclosing_function(node) or module.tree
+    if scope not in cache:
+        cache[scope] = assignment_map(scope)
+    return cache[scope]
+
+
+def _resolve(
+    node: ast.AST, assignments: dict[str, ast.expr]
+) -> ast.AST:
+    """Follow one level of ``name = expr`` indirection."""
+    if isinstance(node, ast.Name):
+        value = assignments.get(node.id)
+        if value is not None:
+            return value
+    return node
+
+
+@register
+class UnclippedExpLogRule(Rule):
+    """RPR101: exp/log arguments must be clipped or extremum-shifted."""
+
+    id = "RPR101"
+    name = "unclipped-exp-log"
+    summary = (
+        "np.exp/np.log in the analytic kernels must take a "
+        "clip-guarded argument (np.clip/np.minimum/np.maximum or the "
+        "repro.analytic.stable helpers)"
+    )
+    scopes = ("repro/analytic/",)
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        cache: dict[ast.AST, dict[str, ast.expr]] = {}
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = module.call_name(node)
+            if dotted not in _EXP_LOG or not node.args:
+                continue
+            assignments = _scope_assignments(module, node, cache)
+            arg = _resolve(node.args[0], assignments)
+            if contains_call(module, arg, _CLIP_GUARDS):
+                continue
+            if isinstance(arg, ast.Constant):
+                continue
+            leaf = dotted.rsplit(".", 1)[-1]
+            yield self.finding(
+                module, node,
+                f"np.{leaf}() on an unclipped argument can "
+                f"{'overflow to inf' if leaf.startswith('exp') else 'hit log(0)'}"
+                " silently; clip the argument or use "
+                "repro.analytic.stable helpers",
+            )
+
+
+def _root_name(node: ast.AST) -> str | None:
+    """Leftmost simple name of a Name/Subscript/Call-on-name chain."""
+    current = node
+    while True:
+        if isinstance(current, ast.Name):
+            return current.id
+        if isinstance(current, ast.Subscript):
+            current = current.value
+        elif isinstance(current, ast.Call):
+            current = current.func
+        elif isinstance(current, ast.Attribute):
+            current = current.value
+        else:
+            return None
+
+
+def _guarded_by_comparison(
+    module: ModuleInfo, node: ast.AST, name: str
+) -> bool:
+    """True when the enclosing function compares ``name`` anywhere.
+
+    Recognises the repo's guard idioms — ``if den > 0:``,
+    ``if den <= eps: return/continue``, ``x / den if den > 0 else 0``
+    — without building a CFG: any comparison mentioning the name
+    within the function counts.  Coarse, but combined with the
+    data-dependence filter it keeps the rule's noise near zero.
+    """
+    scope = module.enclosing_function(node)
+    if scope is None:
+        return False
+    for sub in ast.walk(scope):
+        test = None
+        if isinstance(sub, (ast.If, ast.While, ast.IfExp)):
+            test = sub.test
+        elif isinstance(sub, ast.Assert):
+            test = sub.test
+        if test is None:
+            continue
+        for leaf in ast.walk(test):
+            if isinstance(leaf, ast.Name) and leaf.id == name:
+                return True
+    return False
+
+
+def _eps_guarded(node: ast.AST) -> bool:
+    """True for ``den + eps``-style denominators."""
+    if not isinstance(node, ast.BinOp) or not isinstance(
+        node.op, (ast.Add, ast.Sub)
+    ):
+        return False
+    for side in (node.left, node.right):
+        if isinstance(side, ast.Constant) and isinstance(
+            side.value, (int, float)
+        ):
+            return True
+        if isinstance(side, ast.Name) and "eps" in side.id.lower():
+            return True
+    return False
+
+
+@register
+class BareDivisionRule(Rule):
+    """RPR102: data-dependent denominators need an epsilon guard."""
+
+    id = "RPR102"
+    name = "division-without-eps"
+    summary = (
+        "division in gradient/kernel code whose denominator is a "
+        "runtime-computed array/sum must carry an epsilon guard "
+        "(np.maximum(den, eps), max(den, eps), or a comparison guard)"
+    )
+    scopes = ("repro/analytic/",)
+
+    def _denominator_unsafe(
+        self,
+        module: ModuleInfo,
+        den: ast.AST,
+        assignments: dict[str, ast.expr],
+    ) -> bool:
+        if _eps_guarded(den):
+            return False
+        if contains_call(module, den, _DIV_GUARDS):
+            return False
+        resolved = _resolve(den, assignments)
+        if resolved is not den:
+            if _eps_guarded(resolved) or contains_call(
+                module, resolved, _DIV_GUARDS
+            ):
+                return False
+        # only runtime-computed values (calls/subscripts) are in scope;
+        # parameters, attributes and arithmetic of them are assumed
+        # validated at construction time
+        data_dependent = isinstance(
+            resolved, (ast.Call, ast.Subscript)
+        )
+        if not data_dependent:
+            return False
+        name = _root_name(den) or _root_name(resolved)
+        if name is not None and _guarded_by_comparison(
+            module, den, name
+        ):
+            return False
+        return True
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        cache: dict[ast.AST, dict[str, ast.expr]] = {}
+        for node in ast.walk(module.tree):
+            den: ast.AST | None = None
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, ast.Div
+            ):
+                den = node.right
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.op, ast.Div
+            ):
+                den = node.value
+            if den is None:
+                continue
+            assignments = _scope_assignments(module, node, cache)
+            if self._denominator_unsafe(module, den, assignments):
+                yield self.finding(
+                    module, node,
+                    "division by a runtime-computed denominator "
+                    "without an epsilon guard; use "
+                    "np.maximum(den, eps) or repro.analytic.stable."
+                    "safe_div",
+                )

@@ -7,6 +7,7 @@ most (e.g. the OTA output node).
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
 
 
@@ -41,7 +42,7 @@ class Net:
     def __init__(
         self,
         name: str,
-        terminals,
+        terminals: Iterable[Terminal | tuple[str, str] | str],
         weight: float = 1.0,
         critical: bool = False,
     ) -> None:

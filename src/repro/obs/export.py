@@ -16,12 +16,13 @@ JSONL schema — one JSON object per line, discriminated by ``type``:
 from __future__ import annotations
 
 import json
+import os
 from typing import Iterator
 
 from .trace import Trace
 
 
-def trace_records(trace: Trace, **meta) -> Iterator[dict]:
+def trace_records(trace: Trace, **meta: object) -> Iterator[dict]:
     """Yield the JSONL record dicts for ``trace``.
 
     ``meta`` keys (e.g. ``method=``, ``runtime_s=``) land in the header
@@ -66,7 +67,8 @@ def trace_records(trace: Trace, **meta) -> Iterator[dict]:
         yield {"type": "gauge", "name": name, "value": value}
 
 
-def write_jsonl(trace: Trace, path, **meta) -> int:
+def write_jsonl(trace: Trace, path: "str | os.PathLike[str]",
+                **meta: object) -> int:
     """Write ``trace`` to ``path`` as JSONL; returns the record count."""
     count = 0
     with open(path, "w") as handle:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import logging
 import sys
+import typing
 
 ROOT_NAME = "repro"
 
@@ -34,7 +35,8 @@ def verbosity_level(verbosity: int) -> int:
     return logging.DEBUG
 
 
-def configure(verbosity: int = 0, stream=None) -> logging.Logger:
+def configure(verbosity: int = 0,
+              stream: "typing.TextIO | None" = None) -> logging.Logger:
     """Attach one stream handler to the ``repro`` root logger.
 
     Idempotent: re-invocation updates the level and stream of the

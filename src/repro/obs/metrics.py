@@ -12,6 +12,9 @@ from __future__ import annotations
 
 import threading
 import time
+from typing import Callable, TypeVar
+
+_M = TypeVar("_M")
 
 
 class Counter:
@@ -53,7 +56,7 @@ class Timer:
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, *exc) -> bool:
+    def __exit__(self, *exc: object) -> bool:
         self.total_s += time.perf_counter() - self._start
         self.calls += 1
         return False
@@ -68,7 +71,8 @@ class MetricsRegistry:
         self._gauges: dict[str, Gauge] = {}
         self._timers: dict[str, Timer] = {}
 
-    def _get(self, table: dict, name: str, factory):
+    def _get(self, table: dict[str, _M], name: str,
+             factory: Callable[[], _M]) -> _M:
         metric = table.get(name)
         if metric is None:
             with self._lock:

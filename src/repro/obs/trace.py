@@ -38,6 +38,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
+from collections.abc import Iterator
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
@@ -164,7 +165,7 @@ class _NullSpan:
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, *exc) -> bool:
+    def __exit__(self, *exc: object) -> bool:
         return False
 
 
@@ -189,7 +190,7 @@ class _Span:
         self._start = self._tracer._clock.elapsed()
         return self
 
-    def __exit__(self, *exc) -> bool:
+    def __exit__(self, *exc: object) -> bool:
         end = self._tracer._clock.elapsed()
         duration = end - self._start
         stack = self._tracer._stack()
@@ -224,7 +225,7 @@ class _Timer:
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, *exc) -> bool:
+    def __exit__(self, *exc: object) -> bool:
         self._tracer._add_timer(
             self._name, time.perf_counter() - self._start
         )
@@ -282,19 +283,20 @@ class Tracer:
                 agg[1] += 1
 
     # -- public --------------------------------------------------------
-    def span(self, name: str, **attrs):
+    def span(self, name: str, **attrs: object) -> "_Span | _NullSpan":
         """Context manager timing one nested phase."""
         if not self.enabled:
             return _NULL_SPAN
         return _Span(self, name, attrs)
 
-    def timer(self, name: str):
+    def timer(self, name: str) -> "_Timer | _NullSpan":
         """Context manager accumulating a hot-path phase by name."""
         if not self.enabled:
             return _NULL_SPAN
         return _Timer(self, name)
 
-    def record(self, phase: str, iteration: int, **values) -> None:
+    def record(self, phase: str, iteration: int,
+               **values: float) -> None:
         """Append one per-iteration convergence record."""
         if not self.enabled:
             return
@@ -353,7 +355,7 @@ def active() -> bool:
     return tracer is not None and tracer.enabled
 
 
-def span(name: str, **attrs):
+def span(name: str, **attrs: object) -> "_Span | _NullSpan":
     """Module-level :meth:`Tracer.span` against the active tracer."""
     tracer = getattr(_ACTIVE, "tracer", None)
     if tracer is None or not tracer.enabled:
@@ -361,7 +363,7 @@ def span(name: str, **attrs):
     return _Span(tracer, name, attrs)
 
 
-def timer(name: str):
+def timer(name: str) -> "_Timer | _NullSpan":
     """Module-level :meth:`Tracer.timer` against the active tracer."""
     tracer = getattr(_ACTIVE, "tracer", None)
     if tracer is None or not tracer.enabled:
@@ -369,7 +371,7 @@ def timer(name: str):
     return _Timer(tracer, name)
 
 
-def record(phase: str, iteration: int, **values) -> None:
+def record(phase: str, iteration: int, **values: float) -> None:
     """Module-level :meth:`Tracer.record` against the active tracer."""
     tracer = getattr(_ACTIVE, "tracer", None)
     if tracer is not None:
@@ -381,7 +383,7 @@ def tracing(
     enabled: bool = True,
     convergence_capacity: int = 4096,
     max_spans: int = 20000,
-):
+) -> "Iterator[Tracer]":
     """Activate a fresh :class:`Tracer` on this thread for the block.
 
     Nests: the previous tracer (if any) is restored on exit, so test

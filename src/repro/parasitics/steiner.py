@@ -75,6 +75,51 @@ def _tree_length(points: np.ndarray, edges) -> float:
     return total
 
 
+def _canonicalize(terminals: np.ndarray) -> np.ndarray:
+    """Bbox-relative coordinates snapped onto a power-of-two grid.
+
+    Translating a point set perturbs coordinates by float rounding
+    (~1 ulp), which is enough to flip ``argmin`` and gain tie-breaks
+    and change the constructed topology — the translation-variance bug
+    from ROADMAP.  Subtracting the bbox origin and snapping to a
+    power-of-two quantum (span * 2^-33, exact in binary) collapses
+    that noise: translated instances map to bit-identical canonical
+    sets, so every downstream comparison resolves identically.
+    """
+    canon = terminals - terminals.min(axis=0)
+    span = float(canon.max()) if canon.size else 0.0
+    if span <= 0.0:
+        return canon
+    quantum = float(2.0 ** (np.ceil(np.log2(span)) - 33.0))
+    return np.round(canon / quantum) * quantum
+
+
+def _exact_coordinates(
+    terminals: np.ndarray,
+    canon: np.ndarray,
+    points: np.ndarray,
+    num_terminals: int,
+) -> np.ndarray:
+    """Map a canonical point set back onto exact input coordinates.
+
+    Every Hanan-grid point reuses an x from one canonical point and a
+    y from another, so each canonical coordinate value traces back to
+    (at least) one terminal; substituting that terminal's exact
+    coordinate reproduces the tree's geometry in the input frame
+    without any quantization residue in the reported length.
+    """
+    exact_x = {float(cx): float(tx)
+               for cx, tx in zip(canon[::-1, 0], terminals[::-1, 0])}
+    exact_y = {float(cy): float(ty)
+               for cy, ty in zip(canon[::-1, 1], terminals[::-1, 1])}
+    mapped = np.empty_like(points)
+    mapped[:num_terminals] = terminals
+    for k in range(num_terminals, len(points)):
+        mapped[k, 0] = exact_x[float(points[k, 0])]
+        mapped[k, 1] = exact_y[float(points[k, 1])]
+    return mapped
+
+
 def steiner_tree(terminals: np.ndarray) -> SteinerTree:
     """Build a rectilinear Steiner tree over terminal points.
 
@@ -82,13 +127,20 @@ def steiner_tree(terminals: np.ndarray) -> SteinerTree:
     that shortens the tree the most, re-running Prim after each
     insertion, until no candidate improves.  Complexity is fine for
     analog net degrees (< 20 pins).
+
+    All topology decisions run in canonical (bbox-relative, quantized)
+    coordinates so the result is translation-invariant; the returned
+    points carry exact input-frame geometry, and a final guard falls
+    back to the plain Manhattan MST if snapping ever made the
+    steinerized tree measure longer on the exact coordinates.
     """
     terminals = np.asarray(terminals, dtype=float).reshape(-1, 2)
     num_terminals = len(terminals)
     if num_terminals <= 1:
         return SteinerTree(terminals, (), num_terminals)
 
-    points = terminals.copy()
+    canon = _canonicalize(terminals)
+    points = canon.copy()
     edges = _prim_tree(points)
     length = _tree_length(points, edges)
 
@@ -131,4 +183,11 @@ def steiner_tree(terminals: np.ndarray) -> SteinerTree:
             length = _tree_length(points, edges)
             improved = True
 
-    return SteinerTree(points, tuple(edges), num_terminals)
+    exact = _exact_coordinates(terminals, canon, points, num_terminals)
+    tree = SteinerTree(exact, tuple(edges), num_terminals)
+    if len(points) > num_terminals:
+        mst_edges = _prim_tree(terminals)
+        if tree.length > _tree_length(terminals, mst_edges):
+            return SteinerTree(terminals, tuple(mst_edges),
+                               num_terminals)
+    return tree

@@ -11,7 +11,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..netlist import Axis
+from ..netlist import Axis, SymmetryGroup
 from .placement import Placement
 
 
@@ -32,10 +32,12 @@ class ConstraintAudit:
 
     @property
     def ok(self) -> bool:
+        """True when no residual exceeds ``tolerance``."""
         return not self.violations
 
     @property
     def worst(self) -> float:
+        """Largest residual across all constraint classes, in µm."""
         return max(self.symmetry, self.alignment, self.ordering)
 
 
@@ -92,7 +94,12 @@ def audit_constraints(
     return audit
 
 
-def _symmetry_residuals(group, index, x, y):
+def _symmetry_residuals(
+    group: SymmetryGroup,
+    index: dict[str, int],
+    x: np.ndarray,
+    y: np.ndarray,
+) -> list[tuple[str, float]]:
     """Residuals for one symmetry group given a fitted axis position.
 
     The axis position is free, so we fit it as the value minimising the

@@ -60,13 +60,15 @@ def placement_from_dict(circuit: Circuit, data: dict) -> Placement:
     return Placement(circuit, x, y, fx, fy)
 
 
-def save_placement(placement: Placement, path) -> None:
+def save_placement(placement: Placement,
+                   path: str | pathlib.Path) -> None:
     """Write a placement to a JSON file."""
     pathlib.Path(path).write_text(
         json.dumps(placement_to_dict(placement), indent=2))
 
 
-def load_placement(circuit: Circuit, path) -> Placement:
+def load_placement(circuit: Circuit,
+                   path: str | pathlib.Path) -> Placement:
     """Read a placement from a JSON file for the given circuit."""
     return placement_from_dict(
         circuit, json.loads(pathlib.Path(path).read_text()))
@@ -176,6 +178,11 @@ def placement_to_svg(
     return "\n".join(parts)
 
 
-def save_svg(placement: Placement, path, **kwargs) -> None:
-    """Write the SVG rendering of a placement to a file."""
-    pathlib.Path(path).write_text(placement_to_svg(placement, **kwargs))
+def save_svg(placement: Placement, path: str | pathlib.Path,
+             **kwargs: object) -> None:
+    """Write the SVG rendering of a placement to a file.
+
+    ``kwargs`` forward to :func:`placement_to_svg`.
+    """
+    pathlib.Path(path).write_text(
+        placement_to_svg(placement, **kwargs))  # type: ignore[arg-type]

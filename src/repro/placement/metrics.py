@@ -9,10 +9,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..netlist import Net
 from .placement import Placement
 
 
-def net_hpwl(placement: Placement, net) -> float:
+def net_hpwl(placement: Placement, net: Net) -> float:
     """Half-perimeter wirelength of one net (unweighted), in µm."""
     if net.degree < 2:
         return 0.0

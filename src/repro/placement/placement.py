@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..netlist import Circuit
+from ..netlist import Circuit, Net
 
 
 @dataclass
@@ -66,6 +66,7 @@ class Placement:
         return cls(circuit, x, y)
 
     def copy(self) -> "Placement":
+        """Fresh placement sharing the circuit, with copied arrays."""
         return Placement(
             self.circuit, self.x, self.y, self.flip_x, self.flip_y
         )
@@ -94,7 +95,7 @@ class Placement:
         ylo = self.y[i] - device.height / 2.0
         return float(xlo + ox), float(ylo + oy)
 
-    def net_pin_positions(self, net) -> np.ndarray:
+    def net_pin_positions(self, net: Net) -> np.ndarray:
         """``(degree, 2)`` array of absolute pin coordinates for a net."""
         pts = [self.pin_position(t.device, t.pin) for t in net.terminals]
         return np.asarray(pts, dtype=float)

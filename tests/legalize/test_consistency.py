@@ -1,0 +1,115 @@
+"""Pre-solve constraint-consistency check for the detailed placer.
+
+Covers the latent bug from ROADMAP: ``random_circuit(1482)`` made the
+ILP infeasible (HiGHS status 8) because a derived horizontal separation
+chain, coupled through two symmetry-axis equalities, needed more width
+than the ``region_slack`` coordinate bound allowed.  The per-axis LP in
+:mod:`repro.legalize.consistency` now certifies feasibility and widens
+the bound from the exact minimal extents.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import cc_ota, random_circuit
+from repro.eplace import EPlaceParams, eplace_global
+from repro.legalize import DetailedParams, ilp_detailed_placement
+from repro.legalize.consistency import AxisReport, check_consistency
+from repro.legalize.ilp import _steps
+from repro.legalize.pairs import (
+    HORIZONTAL,
+    SeparationConstraint,
+    separation_constraints,
+)
+from repro.legalize.presym import presymmetrize
+from repro.netlist import AlignmentPair
+from repro.placement import audit_constraints, total_overlap
+
+_FAST_GP = EPlaceParams(max_iters=60, min_iters=15, bins=12)
+_FAST_DP = DetailedParams(iterate_rounds=1, refine_rounds=0,
+                          time_limit_s=30.0)
+
+
+def _halves(circuit, grid=0.1):
+    widths, heights = circuit.sizes()
+    half_w = np.array([_steps(w, grid) for w in widths]) // 2
+    half_h = np.array([_steps(h, grid) for h in heights]) // 2
+    return half_w, half_h
+
+
+class TestCheckConsistency:
+    def test_feasible_on_real_circuit(self, fast_gp_params):
+        circuit = cc_ota()
+        gp = eplace_global(circuit, fast_gp_params).placement
+        seps = separation_constraints(presymmetrize(gp))
+        half_w, half_h = _halves(circuit)
+        rx, ry = check_consistency(circuit, seps, half_w, half_h)
+        assert rx.feasible and ry.feasible
+        assert rx.conflict == () and ry.conflict == ()
+        # minimal extents fit at least the widest/tallest device
+        assert rx.min_extent >= 2 * half_w.max()
+        assert ry.min_extent >= 2 * half_h.max()
+
+    def test_min_extent_covers_separation_chain(self):
+        """A forced left-to-right chain needs the sum of widths."""
+        circuit = cc_ota()
+        n = circuit.num_devices
+        half_w, half_h = _halves(circuit)
+        chain = [SeparationConstraint(i, i + 1, HORIZONTAL)
+                 for i in range(n - 1)]
+        # drop symmetry/alignment so the chain is the only x coupling
+        circuit.constraints.symmetry_groups.clear()
+        circuit.constraints.alignments.clear()
+        rx, _ = check_consistency(circuit, chain, half_w, half_h)
+        assert rx.feasible
+        assert rx.min_extent == pytest.approx(float(2 * half_w.sum()))
+
+    def test_infeasible_names_conflicting_rows(self):
+        """vcenter alignment + horizontal separation cannot coexist."""
+        circuit = cc_ota()
+        names = circuit.device_names
+        circuit.constraints.symmetry_groups.clear()
+        circuit.constraints.alignments.clear()
+        circuit.constraints.alignments.append(
+            AlignmentPair(names[0], names[1], kind="vcenter"))
+        half_w, half_h = _halves(circuit)
+        sep = SeparationConstraint(0, 1, HORIZONTAL)
+        rx, ry = check_consistency(circuit, [sep], half_w, half_h)
+        assert not rx.feasible
+        assert ry.feasible
+        labels = " ".join(rx.conflict)
+        assert f"separation[{names[0]} left-of {names[1]}]" in labels
+        assert f"align-vcenter[{names[0]} = {names[1]}]" in labels
+        # the subset is irreducible: exactly the two clashing rows
+        assert len(rx.conflict) == 2
+
+    def test_report_is_frozen_record(self):
+        report = AxisReport("x", True, 12.0, ())
+        with pytest.raises(AttributeError):
+            report.feasible = False
+
+
+class TestSeed1482Regression:
+    """The fuzz-found infeasibility must stay fixed."""
+
+    def test_ilp_feasible_after_bound_widening(self):
+        circuit = random_circuit(1482, max_devices=16)
+        gp = eplace_global(circuit, _FAST_GP).placement
+        result = ilp_detailed_placement(gp, _FAST_DP)
+        assert total_overlap(result.placement) == pytest.approx(0.0)
+        assert audit_constraints(result.placement).ok
+
+    def test_minimal_extent_exceeds_slack_bound(self):
+        """The widening path is actually exercised on this seed."""
+        circuit = random_circuit(1482, max_devices=16)
+        gp = eplace_global(circuit, _FAST_GP).placement
+        seps = separation_constraints(presymmetrize(gp))
+        half_w, half_h = _halves(circuit)
+        rx, ry = check_consistency(circuit, seps, half_w, half_h)
+        assert rx.feasible and ry.feasible
+        params = DetailedParams()
+        pseudo_steps = float(np.sqrt(
+            circuit.total_device_area() / params.zeta)) / params.grid
+        slack_bound = int(np.ceil(
+            params.region_slack * pseudo_steps)) + 1
+        assert max(rx.min_extent, ry.min_extent) > slack_bound

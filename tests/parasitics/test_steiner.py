@@ -70,3 +70,54 @@ def test_property_translation_invariant(points, dx, dy):
     moved = pts + np.array([dx, dy])
     assert steiner_tree(moved).length == pytest.approx(
         steiner_tree(pts).length, rel=1e-9, abs=1e-9)
+
+
+class TestTranslationRegressions:
+    """Concrete point sets where ulp noise used to flip the topology.
+
+    Before canonicalization, translating these sets perturbed the
+    Hanan-candidate comparisons enough to pick a different (and up to
+    ~1.2 units longer) tree.  Found by random search against the
+    pre-fix implementation; kept as fixed regressions because the
+    derandomized hypothesis profile cannot rediscover them.
+    """
+
+    CASES = (
+        ([[6.3, 14.3], [18.0, 6.8], [4.8, 16.4], [11.7, 9.5],
+          [5.1, 1.5], [0.4, 11.6]],
+         (-9.266691796197755, 14.265989352804613)),
+        ([[14.44439978654, 6.791134191775],
+          [18.377494324687, 14.247817495461],
+          [6.662490879199, 18.587690109166],
+          [6.486837469014, 6.399220469006],
+          [0.594493917784, 14.018161857333],
+          [2.160031539004, 0.973444932775]],
+         (4.682032688473402, 14.0506562067199)),
+        ([[16.02, 13.81], [12.0, 0.31], [8.45, 11.04], [15.28, 6.82],
+          [18.71, 8.93], [1.72, 8.72]],
+         (10.23390952274628, -9.357163721641376)),
+    )
+
+    @pytest.mark.parametrize("case", range(len(CASES)))
+    def test_shifted_length_matches(self, case):
+        pts, shift = self.CASES[case]
+        pts = np.asarray(pts, dtype=float)
+        moved = pts + np.asarray(shift)
+        assert steiner_tree(moved).length == pytest.approx(
+            steiner_tree(pts).length, rel=1e-12, abs=1e-9)
+
+    @pytest.mark.parametrize("case", range(len(CASES)))
+    def test_topology_identical_under_shift(self, case):
+        """Same edge set, not merely the same length."""
+        pts, shift = self.CASES[case]
+        pts = np.asarray(pts, dtype=float)
+        base = steiner_tree(pts)
+        moved = steiner_tree(pts + np.asarray(shift))
+        assert base.edges == moved.edges
+        assert len(base.points) == len(moved.points)
+
+    def test_terminals_round_trip_within_quantum(self):
+        """Returned terminal rows stay within one quantum of input."""
+        pts = np.asarray(self.CASES[1][0], dtype=float)
+        tree = steiner_tree(pts)
+        assert np.allclose(tree.points[:len(pts)], pts, atol=1e-7)
