@@ -21,7 +21,7 @@ import numpy as np
 
 from ..analytic import NetArrays
 from ..netlist import Axis, Circuit
-from ..obs import metrics, trace
+from ..obs import memory, metrics, trace
 from ..obs.log import get_logger
 from ..placement import Placement, PlacerResult
 
@@ -256,7 +256,8 @@ class SimulatedAnnealingPlacer:
     def place(self) -> PlacerResult:
         tracer = trace.current()
         clock = trace.Stopwatch()
-        with tracer.span("sa.place", circuit=self.circuit.name):
+        with tracer.span("sa.place", circuit=self.circuit.name), \
+                memory.phase_peak("sa.place"):
             result = self._place(tracer, clock)
         metrics.counter("repro.sa_placements").inc()
         result.trace = tracer.to_trace()  # now includes the root span

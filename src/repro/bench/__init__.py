@@ -1,0 +1,77 @@
+"""Benchmark observatory: persistent perf artifacts, regression
+detection and run reports, layered on :mod:`repro.obs`.
+
+The paper's whole argument is comparative — runtime and quality of
+three engine families across ten circuits — and this package makes
+that comparison *persistent*: every suite execution leaves a
+schema-versioned ``BENCH_<stamp>.json`` artifact fingerprinted with
+git SHA, interpreter and CPU info, so any two commits (or machines)
+can be compared later with statistical honesty.
+
+* :mod:`repro.bench.spec` — declarative suites (engine × circuit ×
+  seed, warmup/repeat counts, per-engine budget overrides);
+* :mod:`repro.bench.runner` — executes a suite under the obs tracer
+  and tracemalloc memory hooks, emits the artifact;
+* :mod:`repro.bench.artifact` — the versioned schema, save/load and
+  validation;
+* :mod:`repro.bench.compare` — bootstrap-CI regression verdicts
+  between two artifacts;
+* :mod:`repro.bench.report` — markdown/HTML reports with per-phase
+  profile tables and convergence sparklines;
+* :mod:`repro.bench.cli` — ``python -m repro.bench run|compare|
+  report|suites``.
+"""
+
+from .artifact import (
+    ArtifactError,
+    SCHEMA,
+    artifact_filename,
+    case_key,
+    load_artifact,
+    runs_by_case,
+    save_artifact,
+    validate_artifact,
+)
+from .compare import (
+    Comparison,
+    bootstrap_ratio_ci,
+    compare_artifacts,
+    format_comparison,
+)
+from .report import render_html, render_markdown, sparkline
+from .runner import run_case, run_suite, run_to_file
+from .spec import (
+    BUILTIN_SUITES,
+    CaseSpec,
+    SuiteError,
+    SuiteSpec,
+    get_suite,
+    load_suite_file,
+)
+
+__all__ = [
+    "ArtifactError",
+    "BUILTIN_SUITES",
+    "CaseSpec",
+    "Comparison",
+    "SCHEMA",
+    "SuiteError",
+    "SuiteSpec",
+    "artifact_filename",
+    "bootstrap_ratio_ci",
+    "case_key",
+    "compare_artifacts",
+    "format_comparison",
+    "get_suite",
+    "load_artifact",
+    "load_suite_file",
+    "render_html",
+    "render_markdown",
+    "run_case",
+    "run_suite",
+    "run_to_file",
+    "runs_by_case",
+    "save_artifact",
+    "sparkline",
+    "validate_artifact",
+]

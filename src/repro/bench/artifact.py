@@ -1,0 +1,132 @@
+"""Schema-versioned benchmark artifacts (``BENCH_<stamp>.json``).
+
+One artifact records one suite execution: the environment fingerprint
+(git SHA, Python/numpy versions, CPU), the suite configuration, and a
+flat list of per-repeat run records.  The schema is explicit and
+validated on load so the comparator never silently mixes incompatible
+files.
+
+Top level::
+
+    {"schema": "repro.bench/1",
+     "created_utc": "2026-08-05T12:13:14Z",
+     "suite": "smoke",
+     "config": {"repeats": 2, "warmup": 1, "engines": [...],
+                "circuits": [...], "seeds": [...]},
+     "fingerprint": {"git_sha": ..., "python": ..., "numpy": ...,
+                     "platform": ..., "cpu_count": ...},
+     "runs": [RUN, ...]}
+
+Each ``RUN``::
+
+    {"engine": "eplace-a", "circuit": "Adder", "seed": 1, "repeat": 0,
+     "runtime_s": 0.41,
+     "metrics": {"hpwl": ..., "area": ..., "overlap": ...,
+                 "utilization": ...},
+     "phases": {"eplace.gp": {"calls": 1, "total_s": ...,
+                              "self_s": ...}, ...},
+     "mem": {"overall_peak_kib": ..., "phases": {...}} | null,
+     "convergence": [{"phase": "eplace.nesterov", "iterations": 150,
+                      "series": {"hpwl": [...], ...},
+                      "final": {"hpwl": ..., ...}}, ...]}
+
+``mem`` is ``null`` for timing repeats: tracemalloc slows allocation,
+so the runner profiles memory in one dedicated extra repeat instead of
+contaminating the timed ones.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+SCHEMA = "repro.bench/1"
+
+#: required keys of the artifact top level
+_TOP_KEYS = ("schema", "created_utc", "suite", "config",
+             "fingerprint", "runs")
+#: required keys of every run record
+_RUN_KEYS = ("engine", "circuit", "seed", "repeat", "runtime_s",
+             "metrics", "phases", "mem", "convergence")
+
+
+class ArtifactError(ValueError):
+    """Raised when an artifact file fails schema validation."""
+
+
+def artifact_filename(stamp: str) -> str:
+    """Canonical file name for an artifact created at ``stamp``."""
+    return f"BENCH_{stamp}.json"
+
+
+def validate_artifact(doc: Any, source: str = "artifact") -> dict:
+    """Check ``doc`` against the ``repro.bench/1`` schema.
+
+    Returns the validated dict; raises :class:`ArtifactError` with a
+    pointed message otherwise.
+    """
+    if not isinstance(doc, dict):
+        raise ArtifactError(f"{source}: artifact must be a JSON object")
+    schema = doc.get("schema")
+    if schema != SCHEMA:
+        raise ArtifactError(
+            f"{source}: schema {schema!r} is not {SCHEMA!r}; "
+            "re-record the artifact with this version of repro.bench"
+        )
+    missing = [k for k in _TOP_KEYS if k not in doc]
+    if missing:
+        raise ArtifactError(f"{source}: missing top-level keys {missing}")
+    runs = doc["runs"]
+    if not isinstance(runs, list):
+        raise ArtifactError(f"{source}: 'runs' must be a list")
+    for index, run in enumerate(runs):
+        if not isinstance(run, dict):
+            raise ArtifactError(
+                f"{source}: runs[{index}] is not an object"
+            )
+        run_missing = [k for k in _RUN_KEYS if k not in run]
+        if run_missing:
+            raise ArtifactError(
+                f"{source}: runs[{index}] missing keys {run_missing}"
+            )
+        metrics = run["metrics"]
+        if not isinstance(metrics, dict) or "hpwl" not in metrics:
+            raise ArtifactError(
+                f"{source}: runs[{index}].metrics must contain "
+                "quality metrics (hpwl, area, ...)"
+            )
+    return doc
+
+
+def save_artifact(doc: dict, path: "str | os.PathLike[str]") -> None:
+    """Validate and write one artifact as pretty-printed JSON."""
+    validate_artifact(doc, source=str(path))
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=1, sort_keys=True, default=float)
+        handle.write("\n")
+
+
+def load_artifact(path: "str | os.PathLike[str]") -> dict:
+    """Load and validate one artifact file."""
+    try:
+        with open(path) as handle:
+            doc = json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise ArtifactError(f"{path}: not valid JSON: {exc}") from exc
+    return validate_artifact(doc, source=str(path))
+
+
+def case_key(run: dict) -> str:
+    """Join key of one run: ``engine:circuit:seed``."""
+    return f"{run['engine']}:{run['circuit']}:{run['seed']}"
+
+
+def runs_by_case(doc: dict) -> dict[str, list[dict]]:
+    """Group an artifact's runs by case key, repeats in order."""
+    grouped: dict[str, list[dict]] = {}
+    for run in doc["runs"]:
+        grouped.setdefault(case_key(run), []).append(run)
+    for runs in grouped.values():
+        runs.sort(key=lambda r: int(r["repeat"]))
+    return grouped

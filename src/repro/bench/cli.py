@@ -1,0 +1,196 @@
+"""``python -m repro.bench`` — run, compare and report benchmarks.
+
+Commands:
+
+* ``run`` — execute a suite (built-in name or JSON file) and write a
+  schema-versioned ``BENCH_<stamp>.json`` artifact;
+* ``compare BASE HEAD`` — bootstrap-CI regression check between two
+  artifacts; exits 1 when a statistically significant runtime or
+  quality regression is found (``--warn-only`` reports but exits 0);
+* ``report`` — render an artifact as markdown (default) or HTML;
+* ``suites`` — list the built-in suites.
+
+Examples::
+
+    python -m repro.bench run --suite smoke --out benchmarks/results
+    python -m repro.bench compare benchmarks/baselines/smoke.json \\
+        benchmarks/results/BENCH_20260805T120000Z.json
+    python -m repro.bench report BENCH_20260805T120000Z.json \\
+        --format html --out report.html
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from ..obs import configure_logging
+from .artifact import ArtifactError, load_artifact
+from .compare import compare_artifacts, format_comparison
+from .report import render_html, render_markdown
+from .runner import DEFAULT_SERIES_POINTS, run_to_file
+from .spec import BUILTIN_SUITES, SuiteError, get_suite
+
+
+def _echo(message: str = "", err: bool = False) -> None:
+    """CLI output channel (keeps library code print-free, RPR202)."""
+    stream = sys.stderr if err else sys.stdout
+    stream.write(message + "\n")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    suite = get_suite(args.suite)
+    _echo(f"running suite {suite.describe()}")
+    path = run_to_file(
+        suite, args.out, repeats=args.repeats, warmup=args.warmup,
+        series_points=args.series_points,
+    )
+    _echo(f"artifact : {path}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    base = load_artifact(args.base)
+    head = load_artifact(args.head)
+    comparison = compare_artifacts(
+        base, head,
+        runtime_tol=args.runtime_tol,
+        quality_tol=args.quality_tol,
+        n_boot=args.bootstrap,
+        confidence=args.confidence,
+        seed=args.seed,
+    )
+    _echo(f"BASE {args.base} ({base['suite']}, "
+          f"git {base['fingerprint'].get('git_sha') or '?'})")
+    _echo(f"HEAD {args.head} ({head['suite']}, "
+          f"git {head['fingerprint'].get('git_sha') or '?'})")
+    _echo(format_comparison(comparison))
+    if comparison.ok:
+        return 0
+    if args.warn_only:
+        _echo("(warn-only: regressions reported, exiting 0)", err=True)
+        return 0
+    return 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    doc = load_artifact(args.artifact)
+    if args.format == "html":
+        rendered = render_html(doc)
+    else:
+        rendered = render_markdown(doc)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(rendered)
+        _echo(f"report   : {args.out}")
+    else:
+        _echo(rendered)
+    return 0
+
+
+def _cmd_suites(_args: argparse.Namespace) -> int:
+    for name in sorted(BUILTIN_SUITES):
+        _echo(BUILTIN_SUITES[name]().describe())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench",
+        description=(
+            "Benchmark observatory: persistent perf artifacts, "
+            "regression detection and run reports"
+        ),
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="raise repro.* log level (-v INFO, -vv DEBUG)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser(
+        "run", help="execute a suite and write a BENCH_*.json artifact"
+    )
+    p_run.add_argument(
+        "--suite", default="smoke",
+        help="built-in suite name or JSON suite file "
+             f"(built-ins: {', '.join(sorted(BUILTIN_SUITES))})",
+    )
+    p_run.add_argument(
+        "--out", default="benchmarks/results",
+        help="directory receiving the artifact (created if missing)",
+    )
+    p_run.add_argument(
+        "--repeats", type=int, default=None,
+        help="override the suite's timed repeat count",
+    )
+    p_run.add_argument(
+        "--warmup", type=int, default=None,
+        help="override the suite's warmup run count",
+    )
+    p_run.add_argument(
+        "--series-points", type=int, default=DEFAULT_SERIES_POINTS,
+        help="max stored points per convergence series",
+    )
+
+    p_cmp = sub.add_parser(
+        "compare",
+        help="flag regressions between two artifacts (exit 1 on any)",
+    )
+    p_cmp.add_argument("base", help="baseline BENCH_*.json")
+    p_cmp.add_argument("head", help="candidate BENCH_*.json")
+    p_cmp.add_argument(
+        "--runtime-tol", type=float, default=0.10,
+        help="runtime regression threshold (default: 10%%)",
+    )
+    p_cmp.add_argument(
+        "--quality-tol", type=float, default=0.02,
+        help="hpwl/area regression threshold (default: 2%%)",
+    )
+    p_cmp.add_argument(
+        "--bootstrap", type=int, default=2000,
+        help="bootstrap resamples for the runtime CI",
+    )
+    p_cmp.add_argument(
+        "--confidence", type=float, default=0.95,
+        help="bootstrap confidence level",
+    )
+    p_cmp.add_argument(
+        "--seed", type=int, default=0,
+        help="bootstrap RNG seed (reports are reproducible)",
+    )
+    p_cmp.add_argument(
+        "--warn-only", action="store_true",
+        help="report regressions but exit 0 (CI soft-launch)",
+    )
+
+    p_rep = sub.add_parser(
+        "report", help="render an artifact as markdown or HTML"
+    )
+    p_rep.add_argument("artifact", help="BENCH_*.json to render")
+    p_rep.add_argument(
+        "--format", choices=("md", "html"), default="md",
+    )
+    p_rep.add_argument(
+        "--out", help="write the report here instead of stdout"
+    )
+
+    sub.add_parser("suites", help="list the built-in suites")
+    return parser
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    configure_logging(args.verbose)
+    handlers = {
+        "run": _cmd_run,
+        "compare": _cmd_compare,
+        "report": _cmd_report,
+        "suites": _cmd_suites,
+    }
+    try:
+        return handlers[args.command](args)
+    except (ArtifactError, SuiteError) as exc:
+        _echo(f"error: {exc}", err=True)
+        return 2

@@ -1,0 +1,260 @@
+"""Artifact comparison: bootstrap CIs and regression verdicts.
+
+``compare`` answers one question per case: *is HEAD meaningfully worse
+than BASE?*  Two families of signals:
+
+* **Runtime** — noisy across repeats, so the verdict is statistical:
+  we bootstrap the ratio of mean runtimes (HEAD/BASE) over the
+  per-repeat samples and flag a regression only when the *entire*
+  confidence interval sits above ``1 + runtime_tol``.  With a single
+  repeat per side the interval degenerates to the point ratio, which
+  still catches the committed-baseline 2x-slowdown case.
+* **Quality** (HPWL, area, overlap) — deterministic for seeded
+  engines, so plain ratios against ``1 + quality_tol`` suffice; the
+  mean over repeats guards against engines that ever become
+  nondeterministic.
+
+Improvements are reported symmetrically but never affect the exit
+status; only regressions do.  The bootstrap RNG is explicitly seeded —
+two invocations on the same artifacts produce identical reports (lint
+rule RPR002 applies to this package too).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from .artifact import runs_by_case
+
+#: quality metrics compared ratio-wise (lower is better for all)
+_QUALITY_METRICS = ("hpwl", "area", "overlap")
+
+
+@dataclass
+class MetricVerdict:
+    """One metric's BASE/HEAD comparison within a case."""
+
+    metric: str
+    base: float
+    head: float
+    ratio: float
+    ci_low: float
+    ci_high: float
+    regressed: bool
+    improved: bool
+
+
+@dataclass
+class CaseResult:
+    """All verdicts for one ``engine:circuit:seed`` case."""
+
+    key: str
+    verdicts: list[MetricVerdict] = field(default_factory=list)
+
+    def regressions(self) -> list[MetricVerdict]:
+        return [v for v in self.verdicts if v.regressed]
+
+
+@dataclass
+class Comparison:
+    """Full BASE-vs-HEAD comparison over the shared case matrix."""
+
+    cases: list[CaseResult] = field(default_factory=list)
+    only_base: list[str] = field(default_factory=list)
+    only_head: list[str] = field(default_factory=list)
+
+    def regressions(self) -> list[tuple[str, MetricVerdict]]:
+        return [
+            (case.key, verdict)
+            for case in self.cases
+            for verdict in case.regressions()
+        ]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions()
+
+
+def bootstrap_ratio_ci(
+    base: list[float],
+    head: list[float],
+    n_boot: int = 2000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """CI for ``mean(head)/mean(base)`` by percentile bootstrap.
+
+    Resamples each side with replacement; degenerate samples (single
+    repeat) collapse the interval onto the point ratio.
+    """
+    base_arr = np.asarray(base, dtype=float)
+    head_arr = np.asarray(head, dtype=float)
+    if len(base_arr) <= 1 and len(head_arr) <= 1:
+        ratio = _ratio(float(head_arr.mean()), float(base_arr.mean()))
+        return ratio, ratio
+    rng = np.random.default_rng(seed)
+    base_samples = rng.choice(
+        base_arr, size=(n_boot, len(base_arr)), replace=True
+    ).mean(axis=1)
+    head_samples = rng.choice(
+        head_arr, size=(n_boot, len(head_arr)), replace=True
+    ).mean(axis=1)
+    ratios = head_samples / np.maximum(base_samples, 1e-12)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(ratios, [alpha, 1.0 - alpha])
+    return float(low), float(high)
+
+
+def _ratio(head: float, base: float) -> float:
+    if base <= 1e-12:
+        return 1.0 if head <= 1e-12 else float("inf")
+    return head / base
+
+
+def _mean(values: list[float]) -> float:
+    return float(np.mean(np.asarray(values, dtype=float)))
+
+
+def _compare_case(
+    key: str,
+    base_runs: list[dict],
+    head_runs: list[dict],
+    runtime_tol: float,
+    quality_tol: float,
+    n_boot: int,
+    confidence: float,
+    seed: int,
+) -> CaseResult:
+    result = CaseResult(key=key)
+
+    base_rt = [float(r["runtime_s"]) for r in base_runs]
+    head_rt = [float(r["runtime_s"]) for r in head_runs]
+    ci_low, ci_high = bootstrap_ratio_ci(
+        base_rt, head_rt, n_boot=n_boot, confidence=confidence,
+        seed=seed,
+    )
+    ratio = _ratio(_mean(head_rt), _mean(base_rt))
+    result.verdicts.append(MetricVerdict(
+        metric="runtime_s",
+        base=_mean(base_rt),
+        head=_mean(head_rt),
+        ratio=ratio,
+        ci_low=ci_low,
+        ci_high=ci_high,
+        # significant only when the whole CI clears the tolerance
+        regressed=ci_low > 1.0 + runtime_tol,
+        improved=ci_high < 1.0 - runtime_tol,
+    ))
+
+    for metric in _QUALITY_METRICS:
+        base_vals = [float(r["metrics"][metric]) for r in base_runs
+                     if metric in r["metrics"]]
+        head_vals = [float(r["metrics"][metric]) for r in head_runs
+                     if metric in r["metrics"]]
+        if not base_vals or not head_vals:
+            continue
+        base_mean, head_mean = _mean(base_vals), _mean(head_vals)
+        if metric == "overlap":
+            # overlap is ~0 for legal layouts: ratios blow up, so the
+            # verdict is absolute — any new overlap is a regression
+            regressed = head_mean > base_mean + 1e-6
+            improved = head_mean < base_mean - 1e-6
+            q_ratio = _ratio(head_mean, base_mean)
+        else:
+            q_ratio = _ratio(head_mean, base_mean)
+            regressed = q_ratio > 1.0 + quality_tol
+            improved = q_ratio < 1.0 - quality_tol
+        result.verdicts.append(MetricVerdict(
+            metric=metric,
+            base=base_mean,
+            head=head_mean,
+            ratio=q_ratio,
+            ci_low=q_ratio,
+            ci_high=q_ratio,
+            regressed=regressed,
+            improved=improved,
+        ))
+    return result
+
+
+def compare_artifacts(
+    base_doc: dict,
+    head_doc: dict,
+    runtime_tol: float = 0.10,
+    quality_tol: float = 0.02,
+    n_boot: int = 2000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> Comparison:
+    """Compare two validated artifacts case by case.
+
+    Cases present on only one side are listed (a vanished case is
+    suspicious) but do not fail the comparison — suite membership is a
+    deliberate choice, not a perf signal.
+    """
+    base_cases = runs_by_case(base_doc)
+    head_cases = runs_by_case(head_doc)
+    comparison = Comparison()
+    comparison.only_base = sorted(
+        k for k in base_cases if k not in head_cases
+    )
+    comparison.only_head = sorted(
+        k for k in head_cases if k not in base_cases
+    )
+    for key in sorted(k for k in base_cases if k in head_cases):
+        comparison.cases.append(_compare_case(
+            key, base_cases[key], head_cases[key],
+            runtime_tol=runtime_tol, quality_tol=quality_tol,
+            n_boot=n_boot, confidence=confidence, seed=seed,
+        ))
+    return comparison
+
+
+def _format_verdict(verdict: MetricVerdict) -> str:
+    flag = "  "
+    if verdict.regressed:
+        flag = "REGRESSED"
+    elif verdict.improved:
+        flag = "improved"
+    ci = ""
+    if verdict.ci_low != verdict.ci_high:
+        ci = f" ci[{verdict.ci_low:.3f}, {verdict.ci_high:.3f}]"
+    return (
+        f"    {verdict.metric:<10s} {verdict.base:>12.4f} -> "
+        f"{verdict.head:>12.4f}  x{verdict.ratio:.3f}{ci} {flag}"
+    )
+
+
+def _format_lines(comparison: Comparison) -> Iterator[str]:
+    for case in comparison.cases:
+        yield f"  {case.key}"
+        for verdict in case.verdicts:
+            yield _format_verdict(verdict)
+    if comparison.only_base:
+        yield (
+            "  cases only in BASE (dropped from HEAD): "
+            + ", ".join(comparison.only_base)
+        )
+    if comparison.only_head:
+        yield (
+            "  cases only in HEAD (new): "
+            + ", ".join(comparison.only_head)
+        )
+    regressions = comparison.regressions()
+    if regressions:
+        yield f"RESULT: {len(regressions)} regression(s)"
+        for key, verdict in regressions:
+            yield (
+                f"  {key} {verdict.metric}: x{verdict.ratio:.3f} "
+                f"(ci low {verdict.ci_low:.3f})"
+            )
+    else:
+        yield "RESULT: no significant regressions"
+
+
+def format_comparison(comparison: Comparison) -> str:
+    """Human-readable comparison report."""
+    return "\n".join(_format_lines(comparison))

@@ -1,0 +1,260 @@
+"""Artifact rendering: markdown and HTML run reports.
+
+The report answers "what did this benchmark run look like?" at a
+glance: the environment fingerprint, a per-case summary (runtime mean
+± spread, quality, peak memory), a per-case phase profile (where the
+time went, from span self-times) and unicode sparklines of the
+recorded convergence trajectories — the same story the paper tells
+with its runtime tables and convergence figures.
+"""
+
+from __future__ import annotations
+
+import html as html_mod
+from typing import Any, Iterator
+
+import numpy as np
+
+from .artifact import runs_by_case
+
+#: eight-level unicode bars, low to high
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list[float]) -> str:
+    """Render a numeric series as a fixed-height unicode sparkline."""
+    finite = [v for v in values if np.isfinite(v)]
+    if not finite:
+        return ""
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+    top = len(SPARK_CHARS) - 1
+    chars = []
+    for value in values:
+        if not np.isfinite(value):
+            chars.append(" ")
+            continue
+        level = top if span <= 0 else int(
+            round((value - lo) / span * top)
+        )
+        chars.append(SPARK_CHARS[level])
+    return "".join(chars)
+
+
+def _mean_std(values: list[float]) -> tuple[float, float]:
+    arr = np.asarray(values, dtype=float)
+    return float(arr.mean()), float(arr.std())
+
+
+def _phase_rows(
+    runs: list[dict], limit: int = 8,
+) -> list[tuple[str, float, float, float]]:
+    """Mean per-phase (calls, total_s, self_s) over a case's repeats."""
+    acc: dict[str, list[tuple[float, float, float]]] = {}
+    for run in runs:
+        for name, agg in run["phases"].items():
+            acc.setdefault(name, []).append((
+                float(agg["calls"]), float(agg["total_s"]),
+                float(agg["self_s"]),
+            ))
+    rows = []
+    for name, samples in acc.items():
+        arr = np.asarray(samples, dtype=float).mean(axis=0)
+        rows.append((name, float(arr[0]), float(arr[1]),
+                     float(arr[2])))
+    rows.sort(key=lambda row: row[3], reverse=True)
+    return rows[:limit]
+
+
+def _case_mem(runs: list[dict]) -> "dict | None":
+    for run in runs:
+        if run.get("mem"):
+            return run["mem"]
+    return None
+
+
+def _fingerprint_lines(doc: dict) -> Iterator[str]:
+    fp = doc["fingerprint"]
+    sha = fp.get("git_sha") or "(no git)"
+    dirty = " (dirty)" if fp.get("git_dirty") else ""
+    yield f"- git: `{sha}`{dirty}"
+    yield (
+        f"- python {fp.get('python')} / numpy {fp.get('numpy')} on "
+        f"{fp.get('platform')}"
+    )
+    yield (
+        f"- cpu: {fp.get('processor') or fp.get('machine')} x "
+        f"{fp.get('cpu_count')}"
+    )
+
+
+def _summary_table(grouped: dict[str, list[dict]]) -> Iterator[str]:
+    yield ("| case | repeats | runtime s (mean ± σ) | hpwl µm | "
+           "area µm² | overlap | peak mem KiB |")
+    yield "|---|---|---|---|---|---|---|"
+    for key, runs in grouped.items():
+        rt_mean, rt_std = _mean_std(
+            [float(r["runtime_s"]) for r in runs]
+        )
+        hpwl, _ = _mean_std([float(r["metrics"]["hpwl"]) for r in runs])
+        area, _ = _mean_std([float(r["metrics"]["area"]) for r in runs])
+        overlap, _ = _mean_std(
+            [float(r["metrics"].get("overlap", 0.0)) for r in runs]
+        )
+        mem = _case_mem(runs)
+        mem_cell = (
+            f"{mem['overall_peak_kib']:.0f}" if mem else "—"
+        )
+        yield (
+            f"| `{key}` | {len(runs)} | {rt_mean:.3f} ± {rt_std:.3f} "
+            f"| {hpwl:.2f} | {area:.2f} | {overlap:.4f} "
+            f"| {mem_cell} |"
+        )
+
+
+def _case_sections(grouped: dict[str, list[dict]]) -> Iterator[str]:
+    for key, runs in grouped.items():
+        yield f"### `{key}`"
+        yield ""
+        yield "| phase | calls | total s | self s |"
+        yield "|---|---|---|---|"
+        for name, calls, total_s, self_s in _phase_rows(runs):
+            yield (
+                f"| `{name}` | {calls:.0f} | {total_s:.3f} "
+                f"| {self_s:.3f} |"
+            )
+        mem = _case_mem(runs)
+        if mem and mem.get("phases"):
+            yield ""
+            yield "Peak memory per phase (KiB): " + ", ".join(
+                f"`{name}` {peak:.0f}"
+                for name, peak in mem["phases"].items()
+            )
+        for conv in runs[0].get("convergence", []):
+            series = conv.get("series", {})
+            final = conv.get("final", {})
+            drawn = []
+            for field in sorted(series):
+                line = sparkline(series[field])
+                if not line:
+                    continue
+                end = final.get(field)
+                end_txt = f" → {end:.4g}" if end is not None else ""
+                drawn.append(f"  - {field}: {line}{end_txt}")
+            if drawn:
+                yield ""
+                yield (
+                    f"Convergence `{conv['phase']}` "
+                    f"({conv['iterations']} iterations):"
+                )
+                for line in drawn:
+                    yield line
+        yield ""
+
+
+def render_markdown(doc: dict) -> str:
+    """Full markdown report for one artifact."""
+    grouped = runs_by_case(doc)
+    lines = [
+        f"# Benchmark report — suite `{doc['suite']}`",
+        "",
+        f"Recorded {doc['created_utc']} "
+        f"(schema `{doc['schema']}`).",
+        "",
+        *_fingerprint_lines(doc),
+        "",
+        "## Summary",
+        "",
+        *_summary_table(grouped),
+        "",
+        "## Per-case detail",
+        "",
+        *_case_sections(grouped),
+    ]
+    return "\n".join(lines).rstrip() + "\n"
+
+
+_HTML_STYLE = """\
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto;
+       max-width: 60rem; color: #1a1a1a; }
+table { border-collapse: collapse; margin: 1rem 0; }
+th, td { border: 1px solid #ccc; padding: 0.3rem 0.6rem;
+         text-align: right; }
+th:first-child, td:first-child { text-align: left; }
+code { background: #f4f4f4; padding: 0 0.2rem; }
+.spark { font-family: monospace; letter-spacing: 0; }
+"""
+
+
+def _markdown_table_to_html(rows: list[str]) -> str:
+    """Convert the pipe tables emitted above into HTML tables."""
+    out = ["<table>"]
+    for index, row in enumerate(rows):
+        cells = [c.strip() for c in row.strip("|").split("|")]
+        if index == 1:  # the |---| separator
+            continue
+        tag = "th" if index == 0 else "td"
+        rendered = "".join(
+            f"<{tag}>{html_mod.escape(cell)}</{tag}>"
+            for cell in cells
+        )
+        out.append(f"<tr>{rendered}</tr>")
+    out.append("</table>")
+    return "\n".join(out)
+
+
+def render_html(doc: dict) -> str:
+    """Standalone HTML report (tables + sparklines, no scripts)."""
+    grouped = runs_by_case(doc)
+    parts: list[str] = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset='utf-8'>",
+        f"<title>bench {html_mod.escape(str(doc['suite']))}</title>",
+        f"<style>{_HTML_STYLE}</style></head><body>",
+        f"<h1>Benchmark report — suite "
+        f"{html_mod.escape(str(doc['suite']))}</h1>",
+        f"<p>Recorded {html_mod.escape(str(doc['created_utc']))} "
+        f"(schema {html_mod.escape(str(doc['schema']))})</p>",
+        "<ul>",
+    ]
+    for line in _fingerprint_lines(doc):
+        parts.append(
+            f"<li>{html_mod.escape(line.lstrip('- '))}</li>"
+        )
+    parts.append("</ul>")
+    parts.append("<h2>Summary</h2>")
+    parts.append(_markdown_table_to_html(list(_summary_table(grouped))))
+    parts.append("<h2>Per-case detail</h2>")
+    for key, runs in grouped.items():
+        parts.append(f"<h3><code>{html_mod.escape(key)}</code></h3>")
+        phase_rows = ["| phase | calls | total s | self s |", "|-|"]
+        for name, calls, total_s, self_s in _phase_rows(runs):
+            phase_rows.append(
+                f"| {name} | {calls:.0f} | {total_s:.3f} "
+                f"| {self_s:.3f} |"
+            )
+        parts.append(_markdown_table_to_html(phase_rows))
+        for conv in runs[0].get("convergence", []):
+            series = conv.get("series", {})
+            final = conv.get("final", {})
+            lines = []
+            for field in sorted(series):
+                line = sparkline(series[field])
+                if not line:
+                    continue
+                end = final.get(field)
+                end_txt = f" → {end:.4g}" if end is not None else ""
+                lines.append(
+                    f"{html_mod.escape(field)}: "
+                    f"<span class='spark'>{line}</span>"
+                    f"{html_mod.escape(end_txt)}"
+                )
+            if lines:
+                parts.append(
+                    f"<p>Convergence <code>"
+                    f"{html_mod.escape(str(conv['phase']))}</code> "
+                    f"({conv['iterations']} iterations):<br>"
+                    + "<br>".join(lines) + "</p>"
+                )
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"

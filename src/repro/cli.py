@@ -18,6 +18,7 @@ DEBUG) for solver diagnostics.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from . import obs
@@ -104,6 +105,20 @@ def _cmd_place(args) -> int:
             runtime_s=result.runtime_s,
         )
         _echo(f"trace    : {args.trace_out} ({count} records)")
+    if args.metrics_out:
+        doc = {
+            "schema": "repro.obs.metrics/1",
+            "method": result.method,
+            "circuit": circuit.name,
+            "runtime_s": result.runtime_s,
+            "quality": metrics,
+            "registry": obs.snapshot(),
+        }
+        with open(args.metrics_out, "w") as handle:
+            json.dump(doc, handle, indent=1, sort_keys=True,
+                      default=float)
+            handle.write("\n")
+        _echo(f"metrics  : {args.metrics_out}")
     if args.profile:
         _echo()
         _echo(obs.format_profile(result.trace, result.runtime_s))
@@ -169,6 +184,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_place.add_argument("--svg", help="save layout SVG here")
     p_place.add_argument("--trace-out", metavar="FILE.jsonl",
                          help="write the span/convergence trace as JSONL")
+    p_place.add_argument(
+        "--metrics-out", metavar="FILE.json",
+        help="write quality metrics plus the repro.obs metrics "
+             "registry snapshot as JSON (works without --trace-out)",
+    )
     p_place.add_argument("--profile", action="store_true",
                          help="print a per-phase time table")
 

@@ -24,7 +24,7 @@ from ..analytic import (
     wa_wirelength,
 )
 from ..netlist import Circuit
-from ..obs import metrics, trace
+from ..obs import memory, metrics, trace
 from ..obs.log import get_logger
 from ..placement import Placement, PlacerResult
 from .hard_symmetry import HardSymmetryMap
@@ -180,7 +180,8 @@ class EPlaceGlobalPlacer:
         """Run global placement; returns centre coordinates (no flips)."""
         tracer = trace.current()
         clock = trace.Stopwatch()
-        with tracer.span("eplace.gp", circuit=self.circuit.name):
+        with tracer.span("eplace.gp", circuit=self.circuit.name), \
+                memory.phase_peak("eplace.gp"):
             result = self._place(tracer, clock)
         metrics.counter("repro.global_placements").inc()
         result.trace = tracer.to_trace()  # now includes the root span

@@ -40,7 +40,7 @@ from scipy import sparse
 from scipy.optimize import Bounds, LinearConstraint, milp
 
 from ..netlist import Axis
-from ..obs import metrics, trace
+from ..obs import memory, metrics, trace
 from ..obs.log import get_logger
 from ..placement import Placement, PlacerResult, summarize
 from .consistency import check_consistency
@@ -617,7 +617,8 @@ def detailed_place(
     clock = trace.Stopwatch()
     params = params or DetailedParams()
     with tracer.span("legalize.ilp",
-                     circuit=placement.circuit.name):
+                     circuit=placement.circuit.name), \
+            memory.phase_peak("legalize.ilp"):
         placed, stats = _solve_model(placement, params)
         if params.iterate_rounds > 1:
             with tracer.span("legalize.ilp.iterate"):

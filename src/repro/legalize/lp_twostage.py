@@ -21,7 +21,7 @@ import numpy as np
 from scipy.optimize import Bounds, milp
 
 from ..netlist import Axis
-from ..obs import metrics, trace
+from ..obs import memory, metrics, trace
 from ..obs.log import get_logger
 from ..placement import Placement, PlacerResult
 from .ilp import DetailedParams, DetailedPlacementError, _Rows
@@ -191,7 +191,8 @@ def lp_two_stage_detailed_placement(
     clock = trace.Stopwatch()
     params = params or DetailedParams(allow_flipping=False)
     with tracer.span("legalize.lp2",
-                     circuit=placement.circuit.name):
+                     circuit=placement.circuit.name), \
+            memory.phase_peak("legalize.lp2"):
         with tracer.span("legalize.lp2.model"):
             model = _LPModel(placement, params)
 

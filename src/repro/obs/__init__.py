@@ -25,10 +25,13 @@ See :mod:`repro.obs.trace` for the zero-overhead-when-disabled design,
 :mod:`repro.obs.metrics` for the always-on registry benchmarks consume.
 """
 
-from . import export, log, metrics, trace
-from .export import format_profile, trace_records, write_jsonl
+from . import env, export, log, memory, metrics, trace
+from .env import fingerprint, utc_timestamp
+from .export import format_profile, read_jsonl, trace_records, \
+    write_jsonl
 from .log import configure as configure_logging
 from .log import get_logger
+from .memory import MemoryProfile, phase_peak, profile_memory
 from .metrics import REGISTRY, MetricsRegistry, snapshot
 from .trace import (
     NULL_TRACER,
@@ -42,6 +45,7 @@ from .trace import (
 
 __all__ = [
     "IterationRecord",
+    "MemoryProfile",
     "MetricsRegistry",
     "NULL_TRACER",
     "REGISTRY",
@@ -50,14 +54,21 @@ __all__ = [
     "Trace",
     "Tracer",
     "configure_logging",
+    "env",
     "export",
+    "fingerprint",
     "format_profile",
     "get_logger",
     "log",
+    "memory",
     "metrics",
+    "phase_peak",
+    "profile_memory",
+    "read_jsonl",
     "snapshot",
     "trace",
     "trace_records",
     "tracing",
+    "utc_timestamp",
     "write_jsonl",
 ]

@@ -1,0 +1,88 @@
+"""Run-environment fingerprinting and wall-clock stamps for artifacts.
+
+Benchmark artifacts are only comparable when we know *what* produced
+them: a 20% "regression" between two machines, two numpy builds or two
+commits is noise, not signal.  :func:`fingerprint` captures the
+identity of a run — git revision (with a dirty flag), interpreter and
+numpy versions, platform and CPU — and :func:`utc_timestamp` provides
+the artifact's creation stamp.
+
+This module lives inside :mod:`repro.obs` because it is the *only*
+sanctioned home for wall-clock reads (lint rule RPR001): benchmark
+code must not read clocks directly, it imports the stamp from here.
+"""
+
+from __future__ import annotations
+
+import datetime
+import os
+import platform
+import subprocess
+import sys
+
+import numpy
+
+
+def utc_timestamp() -> str:
+    """Compact UTC stamp (``YYYYmmddTHHMMSSZ``) for artifact names."""
+    now = datetime.datetime.now(datetime.timezone.utc)
+    return now.strftime("%Y%m%dT%H%M%SZ")
+
+
+def iso_timestamp() -> str:
+    """Second-resolution ISO-8601 UTC stamp for artifact payloads."""
+    now = datetime.datetime.now(datetime.timezone.utc)
+    return now.strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+def _git(args: list[str], cwd: "str | None") -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", *args], cwd=cwd, capture_output=True, text=True,
+            timeout=5.0, check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip()
+
+
+def git_revision(cwd: "str | None" = None) -> dict[str, object]:
+    """``{"sha", "dirty"}`` of the repo at ``cwd`` (Nones outside git).
+
+    ``cwd=None`` anchors at this package's checkout rather than the
+    process working directory, so artifacts recorded from anywhere
+    still fingerprint the code that produced them.
+    """
+    if cwd is None:
+        cwd = os.path.dirname(os.path.abspath(__file__))
+    sha = _git(["rev-parse", "HEAD"], cwd)
+    if sha is None:
+        return {"sha": None, "dirty": None}
+    status = _git(["status", "--porcelain"], cwd)
+    return {"sha": sha, "dirty": bool(status) if status is not None
+            else None}
+
+
+def fingerprint(cwd: "str | None" = None) -> dict[str, object]:
+    """Environment identity attached to every benchmark artifact.
+
+    Keys: ``git_sha``, ``git_dirty``, ``python``, ``numpy``,
+    ``platform``, ``machine``, ``processor``, ``cpu_count``.  All
+    values are JSON-serialisable; git keys are ``None`` outside a
+    repository.
+    """
+    rev = git_revision(cwd)
+    return {
+        "git_sha": rev["sha"],
+        "git_dirty": rev["dirty"],
+        "python": platform.python_version(),
+        "python_implementation": platform.python_implementation(),
+        "numpy": numpy.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "processor": platform.processor() or None,
+        "cpu_count": os.cpu_count(),
+        "executable": sys.executable,
+    }

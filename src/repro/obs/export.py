@@ -11,6 +11,11 @@ JSONL schema — one JSON object per line, discriminated by ``type``:
 * ``{"type": "timer", "name", "total_s", "calls"}`` — aggregated
   hot-path timers;
 * ``{"type": "counter"|"gauge", "name", "value"}`` — metrics snapshot.
+
+The schema is stable in both directions: :func:`read_jsonl` rebuilds a
+:class:`Trace` (plus the caller metadata) from a file produced by
+:func:`write_jsonl`, and re-exporting the reloaded trace reproduces
+the original records byte-for-byte — the round-trip tests pin this.
 """
 
 from __future__ import annotations
@@ -19,7 +24,12 @@ import json
 import os
 from typing import Iterator
 
-from .trace import Trace
+from .trace import IterationRecord, SpanRecord, Trace
+
+#: keys of the meta header computed from the trace itself (everything
+#: else in the header is caller-supplied context and round-trips)
+_META_COMPUTED = ("type", "spans", "iterations", "dropped_spans",
+                  "dropped_records")
 
 
 def trace_records(trace: Trace, **meta: object) -> Iterator[dict]:
@@ -77,6 +87,84 @@ def write_jsonl(trace: Trace, path: "str | os.PathLike[str]",
             handle.write("\n")
             count += 1
     return count
+
+
+def read_jsonl(
+    path: "str | os.PathLike[str]",
+) -> tuple[dict, Trace]:
+    """Load a :func:`write_jsonl` file back into ``(meta, Trace)``.
+
+    ``meta`` contains only the caller-supplied header context (method,
+    circuit, runtime_s, ...); the computed counts are re-derived from
+    the reloaded trace on re-export.  Raises ``ValueError`` on a
+    missing/invalid header or an unknown record type, so schema drift
+    fails loudly instead of silently dropping data.
+    """
+    spans: list[SpanRecord] = []
+    convergence: list[IterationRecord] = []
+    timers: dict[str, dict] = {}
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    header: dict | None = None
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            kind = rec.get("type")
+            if lineno == 1:
+                if kind != "meta":
+                    raise ValueError(
+                        f"{path}: first record must be the meta "
+                        f"header, got type={kind!r}"
+                    )
+                header = rec
+                continue
+            if kind == "span":
+                spans.append(SpanRecord(
+                    name=rec["name"],
+                    start=rec["t0"],
+                    duration=rec["dur_s"],
+                    self_s=rec["self_s"],
+                    depth=rec["depth"],
+                    parent=rec["parent"],
+                    thread=rec["thread"],
+                    attrs=rec.get("attrs", {}),
+                ))
+            elif kind == "iteration":
+                values = {
+                    k: v for k, v in rec.items()
+                    if k not in ("type", "phase", "iteration")
+                }
+                convergence.append(IterationRecord(
+                    rec["phase"], rec["iteration"], values
+                ))
+            elif kind == "timer":
+                timers[rec["name"]] = {
+                    "total_s": rec["total_s"], "calls": rec["calls"]
+                }
+            elif kind == "counter":
+                counters[rec["name"]] = rec["value"]
+            elif kind == "gauge":
+                gauges[rec["name"]] = rec["value"]
+            else:
+                raise ValueError(
+                    f"{path}:{lineno}: unknown record type {kind!r}"
+                )
+    if header is None:
+        raise ValueError(f"{path}: empty trace file (no meta header)")
+    meta = {k: v for k, v in header.items() if k not in _META_COMPUTED}
+    reloaded = Trace(
+        spans=spans,
+        convergence=convergence,
+        timers=timers,
+        counters=counters,
+        gauges=gauges,
+        dropped_spans=header.get("dropped_spans", 0),
+        dropped_records=header.get("dropped_records", 0),
+    )
+    return meta, reloaded
 
 
 def format_profile(trace: Trace, runtime_s: float | None = None) -> str:

@@ -1,0 +1,169 @@
+"""Peak-memory profiling hooks built on :mod:`tracemalloc`.
+
+The benchmark observatory needs memory alongside time: the paper's
+engines differ by orders of magnitude in working-set size (the SA
+sequence-pair state is tiny; the eDensity FFT grids are not), and a
+"speedup" that doubles peak memory is not a win.  Two pieces:
+
+* :func:`profile_memory` — a context manager activating process-wide
+  tracemalloc sampling for the block; yields a :class:`MemoryProfile`
+  whose fields are filled in when the block exits.
+* :func:`phase_peak` — engine-side hook marking one coarse phase
+  (``"eplace.gp"``, ``"legalize.ilp"``, ...).  When no profiling
+  session is active it returns a shared no-op context manager after a
+  single flag check — the same zero-overhead contract as
+  :func:`repro.obs.trace.span`.
+
+Phase peaks are recorded in KiB relative to the profiling session's
+start and are *max-aggregated* per phase name, so repeated calls (e.g.
+ILP re-solves) report the worst case.  Phases are designed for the
+sequential engine pipeline; nested phases each see only their own
+allocation segment (the peak accumulated so far is flushed to the
+enclosing phase before the child resets the tracemalloc peak).
+
+tracemalloc is process-global, so profiling sessions do not nest and
+concurrent sessions from multiple threads are rejected.  Sampling
+costs real time (every allocation is traced) — the benchmark runner
+keeps timing repeats and memory repeats separate for this reason.
+"""
+
+from __future__ import annotations
+
+import threading
+import tracemalloc
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from . import metrics
+
+_KIB = 1024.0
+
+_lock = threading.Lock()
+_session: "MemoryProfile | None" = None
+_started_tracing = False
+
+
+@dataclass
+class MemoryProfile:
+    """Result of one :func:`profile_memory` session.
+
+    ``phase_peaks_kib`` maps phase names to the peak traced allocation
+    (KiB) observed while that phase was the innermost active one;
+    ``overall_peak_kib`` is the session-wide peak.  Both are zero until
+    the session exits.
+    """
+
+    phase_peaks_kib: dict[str, float] = field(default_factory=dict)
+    overall_peak_kib: float = 0.0
+    _overall: float = 0.0
+    _stack: list[str] = field(default_factory=list)
+
+    def _flush(self) -> None:
+        """Fold the current tracemalloc peak into the innermost phase
+        (and the session total), then reset the peak counter."""
+        _, peak = tracemalloc.get_traced_memory()
+        peak_kib = peak / _KIB
+        self._overall = max(self._overall, peak_kib)
+        if self._stack:
+            name = self._stack[-1]
+            self.phase_peaks_kib[name] = max(
+                self.phase_peaks_kib.get(name, 0.0), peak_kib
+            )
+        tracemalloc.reset_peak()
+
+
+class _NullPhase:
+    """Shared no-op phase returned when profiling is inactive."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullPhase":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_PHASE = _NullPhase()
+
+
+class _Phase:
+    """Live phase marker; flushes peaks on entry and exit."""
+
+    __slots__ = ("_name",)
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+
+    def __enter__(self) -> "_Phase":
+        with _lock:
+            session = _session
+            if session is not None:
+                session._flush()  # credit the pre-phase segment
+                session._stack.append(self._name)
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        with _lock:
+            session = _session
+            if session is not None and session._stack:
+                session._flush()
+                session._stack.pop()
+        return False
+
+
+def profiling() -> bool:
+    """True while a :func:`profile_memory` session is active."""
+    return _session is not None
+
+
+def phase_peak(name: str) -> "_Phase | _NullPhase":
+    """Context manager crediting the block's allocations to ``name``.
+
+    No-op (shared singleton, one module-global read) when no profiling
+    session is active, so engines wrap their entry points
+    unconditionally.
+    """
+    if _session is None:
+        return _NULL_PHASE
+    return _Phase(name)
+
+
+@contextmanager
+def profile_memory() -> Iterator[MemoryProfile]:
+    """Activate tracemalloc sampling for the block.
+
+    Yields the :class:`MemoryProfile` that is populated when the block
+    exits.  On exit, per-phase peaks also land in the global metrics
+    registry as ``mem.<phase>.peak_kib`` gauges (max-merged), so traces
+    exported from a profiled run are memory-aware.  Sessions do not
+    nest (tracemalloc is process-global): entering a second session
+    raises ``RuntimeError``.
+    """
+    global _session, _started_tracing
+    profile = MemoryProfile()
+    with _lock:
+        if _session is not None:
+            raise RuntimeError(
+                "memory profiling sessions do not nest"
+            )
+        _started_tracing = not tracemalloc.is_tracing()
+        if _started_tracing:
+            tracemalloc.start()
+        tracemalloc.reset_peak()
+        _session = profile
+    try:
+        yield profile
+    finally:
+        with _lock:
+            profile._flush()
+            profile.overall_peak_kib = profile._overall
+            _session = None
+            if _started_tracing:
+                tracemalloc.stop()
+        for name, peak in sorted(profile.phase_peaks_kib.items()):
+            gauge = metrics.gauge(f"mem.{name}.peak_kib")
+            gauge.set(max(gauge.value, peak))
+        overall = metrics.gauge("mem.overall.peak_kib")
+        overall.set(max(overall.value, profile.overall_peak_kib))

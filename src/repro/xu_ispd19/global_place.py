@@ -23,7 +23,7 @@ from ..analytic import (
     lse_wirelength,
 )
 from ..netlist import Circuit
-from ..obs import metrics, trace
+from ..obs import memory, metrics, trace
 from ..obs.log import get_logger
 from ..placement import Placement, PlacerResult
 
@@ -134,7 +134,8 @@ class XuGlobalPlacer:
     def place(self) -> PlacerResult:
         tracer = trace.current()
         clock = trace.Stopwatch()
-        with tracer.span("xu.gp", circuit=self.circuit.name):
+        with tracer.span("xu.gp", circuit=self.circuit.name), \
+                memory.phase_peak("xu.gp"):
             result = self._place(tracer, clock)
         metrics.counter("repro.global_placements").inc()
         result.trace = tracer.to_trace()  # now includes the root span

@@ -1,0 +1,89 @@
+"""Shared fixtures: synthetic artifacts and a CI-speed tiny suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import SuiteSpec, validate_artifact
+
+
+def synthetic_artifact(
+    runtimes: dict[str, list[float]],
+    hpwl: float = 100.0,
+    area: float = 50.0,
+    overlap: float = 0.0,
+    suite: str = "synthetic",
+) -> dict:
+    """Build a valid artifact from ``case key -> runtime samples``."""
+    runs = []
+    for key, samples in runtimes.items():
+        engine, circuit, seed = key.split(":")
+        for repeat, runtime in enumerate(samples):
+            runs.append({
+                "engine": engine,
+                "circuit": circuit,
+                "seed": int(seed),
+                "repeat": repeat,
+                "runtime_s": float(runtime),
+                "metrics": {
+                    "hpwl": hpwl,
+                    "area": area,
+                    "overlap": overlap,
+                    "utilization": 0.6,
+                },
+                "phases": {
+                    "flow": {"calls": 1, "total_s": runtime,
+                             "self_s": runtime},
+                },
+                "mem": (
+                    {"overall_peak_kib": 100.0,
+                     "phases": {"flow": 100.0}}
+                    if repeat == 0 else None
+                ),
+                "convergence": [
+                    {"phase": "iter", "iterations": 4,
+                     "series": {"hpwl": [4.0, 3.0, 2.0, 1.0]},
+                     "final": {"hpwl": 1.0}}
+                ] if repeat == 0 else [],
+            })
+    return validate_artifact({
+        "schema": "repro.bench/1",
+        "created_utc": "2026-08-05T00:00:00Z",
+        "suite": suite,
+        "config": {"repeats": 2, "warmup": 1, "engines": [],
+                   "circuits": [], "seeds": []},
+        "fingerprint": {"git_sha": "deadbeef", "git_dirty": False,
+                        "python": "3.11", "numpy": "2.0",
+                        "platform": "test", "machine": "x",
+                        "processor": None, "cpu_count": 1},
+        "runs": runs,
+    })
+
+
+@pytest.fixture
+def base_artifact():
+    return synthetic_artifact({
+        "eplace-a:Adder:1": [0.50, 0.52, 0.48],
+        "annealing:Adder:1": [0.30, 0.31, 0.29],
+    })
+
+
+@pytest.fixture
+def tiny_suite():
+    """Smallest meaningful 2-engine x 2-circuit matrix for CI tests."""
+    return SuiteSpec(
+        name="unit",
+        engines=["eplace-a", "annealing"],
+        circuits=["Adder", "CC-OTA"],
+        seeds=[1],
+        repeats=1,
+        warmup=0,
+        params={
+            "eplace-a": {
+                "gp": {"max_iters": 40, "min_iters": 10, "bins": 8},
+                "dp": {"iterate_rounds": 1, "refine_rounds": 0,
+                       "time_limit_s": 10.0},
+            },
+            "annealing": {"iterations": 500},
+        },
+    )

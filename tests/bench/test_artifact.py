@@ -1,0 +1,61 @@
+"""Artifact schema: validation, save/load, grouping."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    ArtifactError,
+    artifact_filename,
+    load_artifact,
+    runs_by_case,
+    save_artifact,
+)
+from .conftest import synthetic_artifact
+
+
+def test_save_load_round_trip(tmp_path, base_artifact):
+    path = tmp_path / artifact_filename("20260805T000000Z")
+    assert path.name == "BENCH_20260805T000000Z.json"
+    save_artifact(base_artifact, path)
+    reloaded = load_artifact(path)
+    assert reloaded == base_artifact
+
+
+def test_runs_by_case_groups_and_orders(base_artifact):
+    grouped = runs_by_case(base_artifact)
+    assert sorted(grouped) == [
+        "annealing:Adder:1", "eplace-a:Adder:1",
+    ]
+    repeats = [r["repeat"] for r in grouped["eplace-a:Adder:1"]]
+    assert repeats == [0, 1, 2]
+
+
+def test_wrong_schema_rejected(tmp_path):
+    doc = synthetic_artifact({"annealing:Adder:1": [0.1]})
+    doc["schema"] = "repro.bench/99"
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps(doc))
+    with pytest.raises(ArtifactError, match="schema"):
+        load_artifact(path)
+
+
+def test_missing_keys_rejected(tmp_path):
+    doc = synthetic_artifact({"annealing:Adder:1": [0.1]})
+    del doc["fingerprint"]
+    with pytest.raises(ArtifactError, match="fingerprint"):
+        save_artifact(doc, tmp_path / "x.json")
+
+    doc = synthetic_artifact({"annealing:Adder:1": [0.1]})
+    del doc["runs"][0]["metrics"]
+    with pytest.raises(ArtifactError, match="missing keys"):
+        save_artifact(doc, tmp_path / "y.json")
+
+
+def test_invalid_json_rejected(tmp_path):
+    path = tmp_path / "garbage.json"
+    path.write_text("{broken")
+    with pytest.raises(ArtifactError, match="JSON"):
+        load_artifact(path)

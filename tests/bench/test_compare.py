@@ -1,0 +1,112 @@
+"""Regression detection on synthetic fixtures, including a
+deliberately 2x-regressed HEAD (the acceptance-criteria case)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    bootstrap_ratio_ci,
+    compare_artifacts,
+    format_comparison,
+)
+from .conftest import synthetic_artifact
+
+
+def test_identical_artifacts_pass(base_artifact):
+    comparison = compare_artifacts(base_artifact, base_artifact)
+    assert comparison.ok
+    assert not comparison.regressions()
+    assert "no significant regressions" in format_comparison(comparison)
+
+
+def test_two_x_slowdown_flags_runtime_regression(base_artifact):
+    regressed = synthetic_artifact({
+        "eplace-a:Adder:1": [1.00, 1.04, 0.96],  # 2x the base
+        "annealing:Adder:1": [0.30, 0.31, 0.29],
+    })
+    comparison = compare_artifacts(base_artifact, regressed)
+    assert not comparison.ok
+    keys = [key for key, _ in comparison.regressions()]
+    assert keys == ["eplace-a:Adder:1"]
+    verdict = comparison.regressions()[0][1]
+    assert verdict.metric == "runtime_s"
+    assert verdict.ratio == pytest.approx(2.0, rel=0.05)
+    assert verdict.ci_low > 1.10  # significant, not just slower
+    assert "REGRESSED" in format_comparison(comparison)
+
+
+def test_noise_within_tolerance_passes(base_artifact):
+    wobbly = synthetic_artifact({
+        "eplace-a:Adder:1": [0.51, 0.53, 0.49],  # ~2% drift
+        "annealing:Adder:1": [0.31, 0.30, 0.30],
+    })
+    comparison = compare_artifacts(base_artifact, wobbly)
+    assert comparison.ok
+
+
+def test_quality_regression_flags_hpwl(base_artifact):
+    worse = synthetic_artifact(
+        {
+            "eplace-a:Adder:1": [0.50, 0.52, 0.48],
+            "annealing:Adder:1": [0.30, 0.31, 0.29],
+        },
+        hpwl=110.0,  # +10% over the base's 100.0
+    )
+    comparison = compare_artifacts(base_artifact, worse)
+    metrics = [v.metric for _, v in comparison.regressions()]
+    assert "hpwl" in metrics and "runtime_s" not in metrics
+
+
+def test_new_overlap_is_absolute_regression(base_artifact):
+    leaky = synthetic_artifact(
+        {
+            "eplace-a:Adder:1": [0.50, 0.52, 0.48],
+            "annealing:Adder:1": [0.30, 0.31, 0.29],
+        },
+        overlap=0.5,  # base had 0.0
+    )
+    comparison = compare_artifacts(base_artifact, leaky)
+    metrics = [v.metric for _, v in comparison.regressions()]
+    assert "overlap" in metrics
+
+
+def test_improvement_reported_but_passing(base_artifact):
+    faster = synthetic_artifact({
+        "eplace-a:Adder:1": [0.25, 0.26, 0.24],
+        "annealing:Adder:1": [0.30, 0.31, 0.29],
+    })
+    comparison = compare_artifacts(base_artifact, faster)
+    assert comparison.ok
+    assert "improved" in format_comparison(comparison)
+
+
+def test_disjoint_cases_reported_not_failed(base_artifact):
+    other = synthetic_artifact({
+        "eplace-a:Adder:1": [0.50, 0.52, 0.48],
+        "xu-ispd19:Adder:1": [0.40, 0.41, 0.39],
+    })
+    comparison = compare_artifacts(base_artifact, other)
+    assert comparison.only_base == ["annealing:Adder:1"]
+    assert comparison.only_head == ["xu-ispd19:Adder:1"]
+    assert comparison.ok  # membership changes are not perf signals
+
+
+def test_single_repeat_degenerates_to_point_ratio():
+    base = synthetic_artifact({"annealing:Adder:1": [0.30]})
+    slow = synthetic_artifact({"annealing:Adder:1": [0.60]})
+    comparison = compare_artifacts(base, slow)
+    assert not comparison.ok
+    verdict = comparison.regressions()[0][1]
+    assert verdict.ci_low == verdict.ci_high == pytest.approx(2.0)
+
+
+def test_bootstrap_ci_is_seeded_and_covers_ratio():
+    base = [1.00, 1.05, 0.95, 1.02]
+    head = [1.50, 1.55, 1.45, 1.52]
+    first = bootstrap_ratio_ci(base, head, seed=0)
+    second = bootstrap_ratio_ci(base, head, seed=0)
+    assert first == second  # reproducible reports
+    low, high = first
+    assert low < 1.5 < high or low <= 1.55  # CI brackets ~1.5
+    assert low > 1.2  # clearly regressed

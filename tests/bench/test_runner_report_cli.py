@@ -1,0 +1,188 @@
+"""End-to-end runner, report and CLI tests on a CI-speed tiny suite."""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+
+import pytest
+
+from repro.bench import (
+    load_artifact,
+    render_html,
+    render_markdown,
+    run_suite,
+    runs_by_case,
+    sparkline,
+)
+from repro.bench.cli import main
+from repro.bench.runner import build_kwargs, downsample
+from .conftest import synthetic_artifact
+
+
+# conftest's tiny_suite is function-scoped; rebuild it once here so the
+# real engine executions are shared by every test in this module
+@pytest.fixture(scope="module")
+def unit_artifact():
+    from .conftest import SuiteSpec
+
+    tiny = SuiteSpec(
+        name="unit",
+        engines=["eplace-a", "annealing"],
+        circuits=["Adder", "CC-OTA"],
+        seeds=[1],
+        repeats=1,
+        warmup=0,
+        params={
+            "eplace-a": {
+                "gp": {"max_iters": 40, "min_iters": 10, "bins": 8},
+                "dp": {"iterate_rounds": 1, "refine_rounds": 0,
+                       "time_limit_s": 10.0},
+            },
+            "annealing": {"iterations": 500},
+        },
+    )
+    return run_suite(tiny)
+
+
+def test_artifact_has_fingerprint_timings_memory_quality(
+    unit_artifact,
+):
+    doc = unit_artifact
+    assert doc["schema"] == "repro.bench/1"
+    fp = doc["fingerprint"]
+    for key in ("git_sha", "python", "numpy", "platform", "cpu_count"):
+        assert key in fp
+    grouped = runs_by_case(doc)
+    # 2 engines x 2 circuits
+    assert len(grouped) == 4
+    for runs in grouped.values():
+        run = runs[0]
+        assert run["runtime_s"] > 0
+        assert run["metrics"]["hpwl"] > 0
+        assert run["phases"]  # span-derived per-phase timings
+        assert run["mem"]["overall_peak_kib"] > 0
+        assert run["mem"]["phases"]  # per-engine peak phases
+        assert run["convergence"]  # recorded trajectories
+    eplace_run = grouped["eplace-a:Adder:1"][0]
+    assert "eplace.gp" in eplace_run["mem"]["phases"]
+    assert any(
+        conv["phase"] == "eplace.nesterov"
+        for conv in eplace_run["convergence"]
+    )
+
+
+def test_seed_flows_into_engine_kwargs():
+    kwargs = build_kwargs("eplace-a", 7, {"gp": {"max_iters": 9}})
+    assert kwargs["gp_params"].seed == 7
+    assert kwargs["gp_params"].max_iters == 9
+    kwargs = build_kwargs("annealing", 5, {"iterations": 10})
+    assert kwargs["params"].seed == 5
+    # the case seed beats a stray override seed
+    kwargs = build_kwargs("xu-ispd19", 3, {"gp": {"seed": 99}})
+    assert kwargs["gp_params"].seed == 3
+    with pytest.raises(ValueError, match="no kwargs mapping"):
+        build_kwargs("mystery", 1, {})
+
+
+def test_downsample_keeps_endpoints():
+    series = [float(i) for i in range(100)]
+    thin = downsample(series, 10)
+    assert len(thin) == 10
+    assert thin[0] == 0.0 and thin[-1] == 99.0
+    assert downsample([1.0, 2.0], 10) == [1.0, 2.0]
+
+
+def test_sparkline_shape():
+    assert sparkline([]) == ""
+    line = sparkline([0.0, 0.5, 1.0])
+    assert line[0] == "▁" and line[-1] == "█"
+    assert sparkline([2.0, 2.0]) == "██"  # flat series renders high
+
+
+def test_markdown_report_contents(unit_artifact):
+    text = render_markdown(unit_artifact)
+    assert "# Benchmark report — suite `unit`" in text
+    assert "`eplace-a:Adder:1`" in text
+    assert "| phase | calls | total s | self s |" in text
+    assert "Peak memory per phase" in text
+    assert "Convergence `eplace.nesterov`" in text
+    assert any(ch in text for ch in "▁▂▃▄▅▆▇█")
+
+
+def test_html_report_contents(unit_artifact):
+    html = render_html(unit_artifact)
+    assert html.startswith("<!DOCTYPE html>")
+    assert "eplace-a:Adder:1" in html
+    assert "class='spark'" in html
+
+
+def test_cli_run_compare_report_round_trip(tmp_path, capsys):
+    suite_file = tmp_path / "unit.json"
+    suite_file.write_text(json.dumps({
+        "name": "unit-cli",
+        "engines": ["annealing"],
+        "circuits": ["Adder", "CC-OTA"],
+        "seeds": [1],
+        "repeats": 1,
+        "warmup": 0,
+        "params": {"annealing": {"iterations": 400}},
+    }))
+    out_dir = tmp_path / "artifacts"
+    rc = main(["run", "--suite", str(suite_file),
+               "--out", str(out_dir)])
+    assert rc == 0
+    paths = glob.glob(os.path.join(str(out_dir), "BENCH_*.json"))
+    assert len(paths) == 1
+    artifact = load_artifact(paths[0])
+    assert artifact["suite"] == "unit-cli"
+
+    # identical artifacts compare clean with exit 0
+    rc = main(["compare", paths[0], paths[0]])
+    assert rc == 0
+    assert "no significant regressions" in capsys.readouterr().out
+
+    # a 2x-regressed HEAD exits nonzero ...
+    slow = json.loads(open(paths[0]).read())
+    for run in slow["runs"]:
+        run["runtime_s"] *= 2.0
+    slow_path = tmp_path / "BENCH_slow.json"
+    slow_path.write_text(json.dumps(slow))
+    rc = main(["compare", paths[0], str(slow_path)])
+    assert rc == 1
+    assert "REGRESSED" in capsys.readouterr().out
+
+    # ... unless --warn-only soft-launches the gate
+    rc = main(["compare", paths[0], str(slow_path), "--warn-only"])
+    assert rc == 0
+
+    # report renders to a file in both formats
+    report_md = tmp_path / "report.md"
+    rc = main(["report", paths[0], "--out", str(report_md)])
+    assert rc == 0
+    assert "# Benchmark report" in report_md.read_text()
+    report_html = tmp_path / "report.html"
+    rc = main(["report", paths[0], "--format", "html",
+               "--out", str(report_html)])
+    assert rc == 0
+    assert report_html.read_text().startswith("<!DOCTYPE html>")
+
+
+def test_cli_suites_lists_builtins(capsys):
+    assert main(["suites"]) == 0
+    out = capsys.readouterr().out
+    assert "smoke" in out and "paper" in out
+
+
+def test_cli_errors_exit_2(tmp_path, capsys):
+    assert main(["run", "--suite", "no-such-suite",
+                 "--out", str(tmp_path)]) == 2
+    assert "error:" in capsys.readouterr().err
+    bad = tmp_path / "bad.json"
+    bad.write_text("{broken")
+    good = synthetic_artifact({"annealing:Adder:1": [0.1]})
+    good_path = tmp_path / "good.json"
+    good_path.write_text(json.dumps(good))
+    assert main(["compare", str(bad), str(good_path)]) == 2
+    assert main(["report", str(bad)]) == 2

@@ -1,0 +1,87 @@
+"""Suite definitions: matrices, validation, JSON files."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BUILTIN_SUITES,
+    SuiteError,
+    SuiteSpec,
+    get_suite,
+    load_suite_file,
+)
+
+
+def test_case_matrix_order_is_deterministic():
+    suite = SuiteSpec(
+        name="t", engines=["eplace-a", "annealing"],
+        circuits=["Adder", "CC-OTA"], seeds=[1, 2],
+    )
+    keys = [case.key for case in suite.cases()]
+    assert keys == [
+        "eplace-a:Adder:1", "eplace-a:Adder:2",
+        "eplace-a:CC-OTA:1", "eplace-a:CC-OTA:2",
+        "annealing:Adder:1", "annealing:Adder:2",
+        "annealing:CC-OTA:1", "annealing:CC-OTA:2",
+    ]
+
+
+def test_unknown_engine_and_circuit_rejected():
+    with pytest.raises(SuiteError, match="unknown engines"):
+        SuiteSpec(name="t", engines=["fancy"], circuits=["Adder"])
+    with pytest.raises(SuiteError, match="unknown circuits"):
+        SuiteSpec(name="t", engines=["eplace-a"], circuits=["Nope"])
+    with pytest.raises(SuiteError, match="repeats"):
+        SuiteSpec(name="t", engines=["eplace-a"],
+                  circuits=["Adder"], repeats=0)
+
+
+def test_builtin_suites_are_valid_and_fresh():
+    for name in sorted(BUILTIN_SUITES):
+        first = get_suite(name)
+        second = get_suite(name)
+        assert first is not second  # mutable specs are never shared
+        assert first.cases()
+    smoke = get_suite("smoke")
+    # the acceptance floor: at least 2 engines x 2 circuits
+    assert len(smoke.engines) >= 2 and len(smoke.circuits) >= 2
+
+
+def test_suite_file_round_trip(tmp_path):
+    path = tmp_path / "mine.json"
+    path.write_text(json.dumps({
+        "name": "mine",
+        "engines": ["annealing"],
+        "circuits": ["Comp1"],
+        "seeds": [7],
+        "repeats": 2,
+        "warmup": 0,
+        "params": {"annealing": {"iterations": 100}},
+    }))
+    suite = load_suite_file(path)
+    assert suite.name == "mine"
+    assert [c.key for c in suite.cases()] == ["annealing:Comp1:7"]
+    assert get_suite(str(path)).name == "mine"  # path form resolves
+
+
+def test_suite_file_errors(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(SuiteError, match="JSON"):
+        load_suite_file(bad)
+    extra = tmp_path / "extra.json"
+    extra.write_text(json.dumps({
+        "engines": ["annealing"], "circuits": ["Comp1"],
+        "typo_field": 1,
+    }))
+    with pytest.raises(SuiteError, match="typo_field"):
+        load_suite_file(extra)
+    missing = tmp_path / "missing.json"
+    missing.write_text(json.dumps({"engines": ["annealing"]}))
+    with pytest.raises(SuiteError, match="circuits"):
+        load_suite_file(missing)
+    with pytest.raises(SuiteError, match="unknown suite"):
+        get_suite("no-such-suite")

@@ -8,13 +8,15 @@ import numpy as np
 import pytest
 from hypothesis import settings
 
-# Deterministic property-based testing: random exploration has found
-# real pre-seed solver bugs (see ROADMAP "Open items"), but a CI gate
-# must not depend on the RNG rediscovering them.  Exploratory fuzzing
-# can opt back in with HYPOTHESIS_PROFILE=explore.
+# Randomized property search is the default again: the two pre-seed
+# solver bugs it had found (ILP seed-1482 infeasibility, Steiner
+# translation variance) are fixed with regression tests, so fresh
+# entropy hunts new counterexamples instead of rediscovering known
+# ones.  HYPOTHESIS_PROFILE=ci pins the derandomized profile for
+# bisection and flake reproduction.
 settings.register_profile("ci", derandomize=True)
 settings.register_profile("explore", derandomize=False)
-settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "explore"))
 
 from repro.annealing import SAParams
 from repro.circuits import adder, cc_ota, comp1, vco1

@@ -38,6 +38,23 @@ def test_place_trace_out_and_profile(tmp_path, capsys):
     assert "sa.place" in span_names and "sa.stage" in span_names
 
 
+def test_place_metrics_out(tmp_path, capsys):
+    out = tmp_path / "metrics.json"
+    rc = main([
+        "place", "--method", "annealing", "--circuit", "comp1",
+        "--sa-iterations", "600", "--metrics-out", str(out),
+    ])
+    assert rc == 0
+    assert str(out) in capsys.readouterr().out
+    doc = json.loads(out.read_text())
+    assert doc["schema"] == "repro.obs.metrics/1"
+    assert doc["method"] == "annealing"
+    assert doc["circuit"] == "Comp1"
+    assert doc["runtime_s"] > 0
+    assert doc["quality"]["hpwl"] > 0
+    assert "registry" in doc  # repro.obs metrics snapshot rides along
+
+
 def test_place_positional_circuit_still_works(capsys):
     rc = main(["place", "comp1", "--method", "annealing",
                "--sa-iterations", "400"])

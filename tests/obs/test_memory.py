@@ -1,0 +1,71 @@
+"""tracemalloc memory-profiling hooks: sessions, phases, no-op path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs import memory, metrics
+
+
+def test_phase_peak_is_noop_without_session():
+    assert not memory.profiling()
+    first = memory.phase_peak("a")
+    second = memory.phase_peak("b")
+    assert first is second  # the shared no-op singleton
+    with first:
+        pass  # must not raise nor start tracemalloc
+
+
+def test_profile_memory_records_phase_and_overall_peaks():
+    with memory.profile_memory() as profile:
+        assert memory.profiling()
+        with memory.phase_peak("alloc.big"):
+            block = np.zeros((512, 512))  # ~2 MiB
+            del block
+        with memory.phase_peak("alloc.small"):
+            small = np.zeros(128)
+            del small
+    assert not memory.profiling()
+    assert profile.phase_peaks_kib["alloc.big"] > 1024.0
+    assert profile.phase_peaks_kib["alloc.small"] < (
+        profile.phase_peaks_kib["alloc.big"]
+    )
+    assert profile.overall_peak_kib >= max(
+        profile.phase_peaks_kib.values()
+    )
+
+
+def test_phase_peaks_max_aggregate_across_calls():
+    with memory.profile_memory() as profile:
+        for size in (64, 512, 128):
+            with memory.phase_peak("alloc.repeat"):
+                block = np.zeros((size, size))
+                del block
+    # the biggest of the three calls defines the recorded peak
+    assert profile.phase_peaks_kib["alloc.repeat"] > 1024.0
+
+
+def test_sessions_do_not_nest():
+    with memory.profile_memory():
+        with pytest.raises(RuntimeError, match="nest"):
+            with memory.profile_memory():
+                pass
+    # the failed inner attempt must not have torn down the outer state
+    assert not memory.profiling()
+
+
+def test_gauges_land_in_registry():
+    metrics.reset()
+    try:
+        with memory.profile_memory():
+            with memory.phase_peak("unit.phase"):
+                block = np.zeros((256, 256))
+                del block
+        snap = metrics.snapshot()
+        assert snap["gauges"]["mem.unit.phase.peak_kib"] > 0
+        assert snap["gauges"]["mem.overall.peak_kib"] >= (
+            snap["gauges"]["mem.unit.phase.peak_kib"]
+        )
+    finally:
+        metrics.reset()

@@ -1,0 +1,121 @@
+"""JSONL export → reload round-trip: the trace schema is stable.
+
+``read_jsonl`` must rebuild exactly what ``write_jsonl`` stored, and
+re-exporting the reloaded trace must reproduce the original file —
+this is what makes trace artifacts durable across sessions (the bench
+observatory and any future analysis scripts rely on it).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import metrics, trace
+
+
+def _sample_trace():
+    metrics.reset()
+    with trace.tracing() as tracer:
+        with trace.span("flow", circuit="tiny"):
+            with trace.span("gp", stage=1):
+                with trace.timer("gp.hot"):
+                    pass
+            with trace.span("dp"):
+                pass
+        for i in range(5):
+            trace.record("gp.iter", i, hpwl=10.0 - i, overflow=0.5 / (i + 1))
+        metrics.counter("repro.sample").inc(2)
+        metrics.gauge("repro.level").set(7.5)
+    snapshot = tracer.to_trace()
+    metrics.reset()
+    return snapshot
+
+
+def test_reload_rebuilds_identical_trace(tmp_path):
+    original = _sample_trace()
+    path = tmp_path / "trace.jsonl"
+    obs.write_jsonl(original, path, method="unit", circuit="tiny",
+                    runtime_s=0.25)
+
+    meta, reloaded = obs.read_jsonl(path)
+    assert meta == {"method": "unit", "circuit": "tiny",
+                    "runtime_s": 0.25}
+    assert len(reloaded.spans) == len(original.spans)
+    for a, b in zip(reloaded.spans, original.spans):
+        assert (a.name, a.start, a.duration, a.self_s, a.depth,
+                a.parent, a.thread, a.attrs) == (
+            b.name, b.start, b.duration, b.self_s, b.depth,
+            b.parent, b.thread, b.attrs)
+    assert [(r.phase, r.iteration, r.values)
+            for r in reloaded.convergence] == [
+        (r.phase, r.iteration, r.values) for r in original.convergence
+    ]
+    assert reloaded.timers == original.timers
+    assert reloaded.counters == original.counters
+    assert reloaded.gauges == original.gauges
+    assert reloaded.dropped_spans == original.dropped_spans
+    assert reloaded.dropped_records == original.dropped_records
+
+
+def test_reexport_is_byte_identical(tmp_path):
+    """write → read → write reproduces the original file exactly."""
+    original = _sample_trace()
+    first = tmp_path / "first.jsonl"
+    obs.write_jsonl(original, first, method="unit", runtime_s=1.5)
+    meta, reloaded = obs.read_jsonl(first)
+    second = tmp_path / "second.jsonl"
+    obs.write_jsonl(reloaded, second, **meta)
+    assert first.read_text() == second.read_text()
+
+
+def test_reload_derived_views_match(tmp_path):
+    """phase_times/convergence views work identically after reload."""
+    original = _sample_trace()
+    path = tmp_path / "trace.jsonl"
+    obs.write_jsonl(original, path)
+    _, reloaded = obs.read_jsonl(path)
+    assert reloaded.phase_times() == original.phase_times()
+    assert reloaded.total_span_s() == pytest.approx(
+        original.total_span_s()
+    )
+    assert len(reloaded.convergence_by_phase("gp.iter")) == 5
+
+
+def test_reload_rejects_unknown_record_type(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text(
+        json.dumps({"type": "meta", "spans": 0}) + "\n"
+        + json.dumps({"type": "mystery", "name": "x"}) + "\n"
+    )
+    with pytest.raises(ValueError, match="unknown record type"):
+        obs.read_jsonl(path)
+
+
+def test_reload_rejects_missing_header(tmp_path):
+    path = tmp_path / "headless.jsonl"
+    path.write_text(json.dumps({"type": "span", "name": "x"}) + "\n")
+    with pytest.raises(ValueError, match="meta"):
+        obs.read_jsonl(path)
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    with pytest.raises(ValueError, match="empty"):
+        obs.read_jsonl(empty)
+
+
+def test_drop_counters_survive_round_trip(tmp_path):
+    with trace.tracing(max_spans=2, convergence_capacity=2) as tracer:
+        for i in range(4):
+            with trace.span(f"s{i}"):
+                pass
+            trace.record("p", i, v=float(i))
+    snapshot = tracer.to_trace()
+    assert snapshot.dropped_spans == 2
+    assert snapshot.dropped_records == 2
+    path = tmp_path / "dropped.jsonl"
+    obs.write_jsonl(snapshot, path)
+    _, reloaded = obs.read_jsonl(path)
+    assert reloaded.dropped_spans == 2
+    assert reloaded.dropped_records == 2
