@@ -6,7 +6,8 @@ Public surface:
 * :mod:`repro.netlist` — circuit data model;
 * :mod:`repro.circuits` — the paper's ten parametric testcases;
 * :func:`repro.api.place` — one-call conventional placement
-  (``eplace-a`` / ``xu-ispd19`` / ``annealing``);
+  (``eplace-a`` / ``xu-ispd19`` / ``annealing``), plus
+  :func:`repro.api.place_multiseed` for process-parallel seed fan-out;
 * :mod:`repro.perf_driven` — performance-driven flows (ePlace-AP,
   Perf*, perf-SA) and GNN model training;
 * :mod:`repro.simulate` — closed-form performance models + FOM;
@@ -18,7 +19,7 @@ Public surface:
 
 from . import obs
 from .api import METHODS, place, place_annealing, place_eplace_a, \
-    place_xu_ispd19
+    place_multiseed, place_xu_ispd19
 from .placement import Placement, PlacerResult
 
 __all__ = [
@@ -29,6 +30,7 @@ __all__ = [
     "place",
     "place_annealing",
     "place_eplace_a",
+    "place_multiseed",
     "place_xu_ispd19",
 ]
 __version__ = "0.1.0"

@@ -113,8 +113,63 @@ class DensityGrid:
             ov_y *= self.heights[i] / sum_y
         return bx0, bx1, by0, by1, ov_x, ov_y
 
+    def _overlap_matrices(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-axis bin overlaps for *all* devices: two ``(n, bins)``
+        matrices.
+
+        Row ``i`` holds the same overlap weights
+        :meth:`_device_window` computes for device ``i`` (zero outside
+        its covered window — bins beyond the window clamp to a
+        non-positive overlap, which the clip removes), so the batched
+        kernels below are algebraically identical to the loop kernel.
+        """
+        half_w, half_h = self.widths / 2, self.heights / 2
+        xlo = np.clip(x - half_w, 0.0, self.region_w - 1e-12)
+        xhi = np.clip(x + half_w, xlo + 1e-12, self.region_w)
+        ylo = np.clip(y - half_h, 0.0, self.region_h - 1e-12)
+        yhi = np.clip(y + half_h, ylo + 1e-12, self.region_h)
+
+        ex, ey = self.edges_x, self.edges_y
+        ov_x = np.clip(
+            np.minimum(xhi[:, None], ex[None, 1:])
+            - np.maximum(xlo[:, None], ex[None, :-1]),
+            0.0, None,
+        )
+        ov_y = np.clip(
+            np.minimum(yhi[:, None], ey[None, 1:])
+            - np.maximum(ylo[:, None], ey[None, :-1]),
+            0.0, None,
+        )
+        # rescale so clamped footprints still deposit the full area
+        sum_x = ov_x.sum(axis=1)
+        sum_y = ov_y.sum(axis=1)
+        ov_x *= np.where(
+            sum_x > 0, self.widths / np.where(sum_x > 0, sum_x, 1.0), 1.0
+        )[:, None]
+        ov_y *= np.where(
+            sum_y > 0, self.heights / np.where(sum_y > 0, sum_y, 1.0), 1.0
+        )[:, None]
+        return ov_x, ov_y
+
     def rasterize(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
-        """Charge (area) deposited per bin by all devices."""
+        """Charge (area) deposited per bin by all devices.
+
+        One matmul over the per-axis overlap matrices:
+        ``grid[bx, by] = sum_i ov_x[i, bx] * ov_y[i, by]`` — each
+        device's contribution is the outer product the loop kernel
+        deposits, summed over devices in a single pass.
+        """
+        ov_x, ov_y = self._overlap_matrices(x, y)
+        return ov_x.T @ ov_y
+
+    def rasterize_loop(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Reference per-device loop kernel (see :meth:`rasterize`).
+
+        Kept for regression tests: the vectorised kernel must agree
+        with this one to numerical round-off.
+        """
         grid = np.zeros((self.bins, self.bins))
         for i in range(len(x)):
             bx0, bx1, by0, by1, ov_x, ov_y = self._device_window(
@@ -132,12 +187,43 @@ class DensityGrid:
         Returns ``(energy, grad_x, grad_y, overflow)`` where ``overflow``
         is the fraction of total device area sitting above the uniform
         target density — ePlace's global-placement stop metric.
+
+        Per-device sampling of the potential / field is batched: with
+        separable weights the double sum over a device's bin window
+        factorises as ``ov_x[i] @ field @ ov_y[i]``, evaluated for all
+        devices via two matmuls per field.
         """
-        charge = self.rasterize(x, y)
+        ov_x, ov_y = self._overlap_matrices(x, y)
+        charge = ov_x.T @ ov_y
         rho = charge / self.bin_area  # area density per bin
         rho_neutral = rho - rho.mean()
         psi = poisson_solve_dct(rho_neutral, self.hx, self.hy)
         # field from the (smooth) potential; np.gradient axis0 = x bins
+        dpsi_dx, dpsi_dy = np.gradient(psi, self.hx, self.hy)
+
+        totals = ov_x.sum(axis=1) * ov_y.sum(axis=1)
+        safe = np.where(totals > 0, totals, 1.0)
+        scale = np.where(totals > 0, self.areas / safe, 0.0)
+        psi_i = ((ov_x @ psi) * ov_y).sum(axis=1)
+        energy = 0.5 * float(np.dot(scale, psi_i))
+        grad_x = scale * ((ov_x @ dpsi_dx) * ov_y).sum(axis=1)
+        grad_y = scale * ((ov_x @ dpsi_dy) * ov_y).sum(axis=1)
+
+        overflow = self._overflow(rho)
+        return energy, grad_x, grad_y, overflow
+
+    def energy_and_grad_loop(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> tuple[float, np.ndarray, np.ndarray, float]:
+        """Reference per-device loop kernel (see :meth:`energy_and_grad`).
+
+        Kept for regression tests: the vectorised kernel must agree
+        with this one to numerical round-off.
+        """
+        charge = self.rasterize_loop(x, y)
+        rho = charge / self.bin_area
+        rho_neutral = rho - rho.mean()
+        psi = poisson_solve_dct(rho_neutral, self.hx, self.hy)
         dpsi_dx, dpsi_dy = np.gradient(psi, self.hx, self.hy)
 
         energy = 0.0
@@ -158,10 +244,13 @@ class DensityGrid:
             grad_x[i] = self.areas[i] * float((dpsi_dx[win] * weights).sum())
             grad_y[i] = self.areas[i] * float((dpsi_dy[win] * weights).sum())
 
+        return float(energy), grad_x, grad_y, self._overflow(rho)
+
+    def _overflow(self, rho: np.ndarray) -> float:
+        """Fraction of device area above the uniform target density."""
         target = self.areas.sum() / (self.region_w * self.region_h)
         excess = np.clip(rho - max(target, 1.0), 0.0, None)
-        overflow = float(
+        return float(
             excess.sum() * self.bin_area
             / max(float(self.areas.sum()), 1e-30)
         )
-        return float(energy), grad_x, grad_y, overflow

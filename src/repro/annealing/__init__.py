@@ -1,11 +1,14 @@
 """Simulated-annealing analog placement baseline (sequence pair + islands)."""
 
 from .annealer import SAParams, SimulatedAnnealingPlacer, anneal_place
+from .incremental import CostDriftError, IncrementalCostEvaluator
 from .islands import Block, build_blocks, fuse_alignment_blocks, reorder_island
 from .seqpair import SequencePair
 
 __all__ = [
     "Block",
+    "CostDriftError",
+    "IncrementalCostEvaluator",
     "SAParams",
     "SequencePair",
     "SimulatedAnnealingPlacer",

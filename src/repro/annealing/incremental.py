@@ -1,0 +1,589 @@
+"""Incremental SA cost evaluation (the hot path of the Metropolis loop).
+
+The annealer historically rebuilt a full :class:`~repro.placement.Placement`
+and recomputed the complete HPWL + area cost from scratch for every
+proposed move — two per-device Python loops per Metropolis step.  This
+module replaces that with an evaluator that maintains, between moves:
+
+* per-device geometry (centre offsets inside the owning block and
+  pin-mirroring signs) plus a flattened per-*pin* offset cache, which
+  change only on flip / island-reorder moves;
+* per-block packed extents (block dims and member bounding boxes, as
+  plain Python lists — numpy call overhead dominates at analog block
+  counts);
+* a per-net bounding-box **span cache**: a move only re-evaluates the
+  nets touched by blocks that actually moved.  For geometry-only moves
+  (flip, island reorder) the dirty-net set, its pin gather indices and
+  its ``reduceat`` boundaries are all static per block and precomputed,
+  and the sequence-pair packing is skipped entirely (block dims are
+  invariant under those moves).
+
+Correctness invariant: per-net spans are always *recomputed from pin
+coordinates* for dirty nets — never accumulated as deltas — and per-net
+max/min reductions are order-insensitive, so a clean net's cached span
+is bitwise what a from-scratch evaluation would produce.  There is
+therefore no floating-point drift channel; the periodic
+:meth:`IncrementalCostEvaluator.audit` full recompute exists to catch
+*logic* bugs (stale dirty tracking after a new move type, say) and
+raises :class:`CostDriftError` when the cache disagrees beyond
+``audit_tol``.
+
+See ``docs/PERFORMANCE.md`` ("Incremental SA cost") for the invariant
+table and the audit policy.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from ..analytic import NetArrays
+from ..netlist import Circuit
+from ..placement import Placement
+from .islands import Block
+from .seqpair import SequencePair, pack_lists
+
+#: above this fraction of dirty nets the evaluator recomputes all spans
+#: in one vectorised pass instead of gathering per-net subsets
+FULL_RECOMPUTE_FRACTION = 0.5
+
+
+class CostDriftError(RuntimeError):
+    """The incremental cost cache disagreed with a full recompute."""
+
+
+def block_geometry(
+    block: Block, extra_fx: bool, extra_fy: bool
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Member-device offsets and flips of one block under extra mirrors.
+
+    Vectorised form of the per-device transform the annealer's
+    ``realize`` loop used to apply; returns ``(rel_x, rel_y, fx, fy)``
+    over the block's member devices (in ``block.device_indices`` order).
+    """
+    rel_x = block.width - block.rel_x if extra_fx else block.rel_x
+    rel_y = block.height - block.rel_y if extra_fy else block.rel_y
+    fx = block.flip_x ^ extra_fx
+    fy = block.flip_y ^ extra_fy
+    return rel_x, rel_y, fx, fy
+
+
+def realize_placement(
+    circuit: Circuit,
+    blocks: list[Block],
+    pair: SequencePair,
+    free_flips: dict[int, tuple[bool, bool]],
+) -> Placement:
+    """Pack a sequence pair and emit the absolute device placement.
+
+    Shared by the annealer's final-result path and the evaluator's
+    cost-hook path so both produce identical coordinates.
+    """
+    widths = np.array([b.width for b in blocks])
+    heights = np.array([b.height for b in blocks])
+    bx, by = pair.pack(widths, heights)
+
+    n = circuit.num_devices
+    x = np.zeros(n)
+    y = np.zeros(n)
+    fx = np.zeros(n, dtype=bool)
+    fy = np.zeros(n, dtype=bool)
+    for k, block in enumerate(blocks):
+        extra_fx, extra_fy = free_flips.get(k, (False, False))
+        idx = np.asarray(block.device_indices, dtype=int)
+        rel_x, rel_y, bfx, bfy = block_geometry(block, extra_fx, extra_fy)
+        x[idx] = bx[k] + rel_x
+        y[idx] = by[k] + rel_y
+        fx[idx] = bfx
+        fy[idx] = bfy
+    return Placement(circuit, x, y, fx, fy)
+
+
+class _Cache:
+    """One fully evaluated SA state (committed or pending).
+
+    Device/pin fields are numpy (fancy-indexed by the span kernels);
+    per-block fields are plain lists (only ever indexed one element at
+    a time, where list access beats numpy scalar access severalfold).
+    """
+
+    __slots__ = (
+        "rel_x", "rel_y", "sign_x", "sign_y", "fx", "fy",
+        "pin_rel_x", "pin_rel_y",
+        "block_w", "block_h",
+        "ext_lo_x", "ext_hi_x", "ext_lo_y", "ext_hi_y",
+        "bx_l", "by_l", "bx", "by", "spans", "hpwl", "cost",
+    )
+
+    def shallow(self) -> "_Cache":
+        out = _Cache()
+        out.rel_x = self.rel_x
+        out.rel_y = self.rel_y
+        out.sign_x = self.sign_x
+        out.sign_y = self.sign_y
+        out.fx = self.fx
+        out.fy = self.fy
+        out.pin_rel_x = self.pin_rel_x
+        out.pin_rel_y = self.pin_rel_y
+        out.block_w = self.block_w
+        out.block_h = self.block_h
+        out.ext_lo_x = self.ext_lo_x
+        out.ext_hi_x = self.ext_hi_x
+        out.ext_lo_y = self.ext_lo_y
+        out.ext_hi_y = self.ext_hi_y
+        out.bx_l = self.bx_l
+        out.by_l = self.by_l
+        out.bx = self.bx
+        out.by = self.by
+        out.spans = self.spans
+        return out
+
+
+class IncrementalCostEvaluator:
+    """Maintains the SA cost of a block configuration across moves.
+
+    Usage protocol (one instance per annealer)::
+
+        cost = ev.reset(blocks, pair, free_flips)             # full eval
+        cand_cost = ev.propose(blocks, pair, flips, touched)  # one move
+        ev.commit()     # accept: the candidate becomes current
+        # (not committing rejects the candidate)
+        ev.audit(blocks, pair, free_flips)  # full recompute, drift check
+
+    ``touched`` names the single block whose *internal* geometry changed
+    (flip or island-reorder move) and asserts that the sequence pair is
+    unchanged from the current state; pass ``None`` for sequence moves.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        arrays: NetArrays,
+        widths: np.ndarray,
+        heights: np.ndarray,
+        area_weight: float,
+        hpwl_norm: float,
+        area_norm: float,
+        perf_weight: float = 0.0,
+        cost_hook: "Callable[[Placement], float] | None" = None,
+        audit_tol: float = 1e-9,
+    ) -> None:
+        self.circuit = circuit
+        self.arrays = arrays
+        self.widths = widths
+        self.heights = heights
+        self.half_w = widths / 2.0
+        self.half_h = heights / 2.0
+        self.area_weight = float(area_weight)
+        self.hpwl_norm = float(hpwl_norm)
+        self.area_norm = float(area_norm)
+        self.perf_weight = float(perf_weight)
+        self.cost_hook = cost_hook
+        self.audit_tol = float(audit_tol)
+        self.audits = 0
+        self.incremental_evals = 0
+        self.full_evals = 0
+
+        n = circuit.num_devices
+        self._dev_block = np.zeros(n, dtype=int)
+        self._pin_block: "np.ndarray | None" = None  # set on first reset
+        # static per-block structures, built on first reset (device →
+        # block membership is invariant: reorder moves permute devices
+        # *inside* a block, never across blocks)
+        self._block_pins: list[np.ndarray] = []
+        self._block_net_mask: list[np.ndarray] = []
+        self._block_net_count: list[int] = []
+        self._block_dirty_pins: list[np.ndarray] = []
+        self._block_dirty_pb: list[np.ndarray] = []
+        self._block_sub_starts: list[np.ndarray] = []
+        # per-net pin counts, for carving dirty-net segment boundaries
+        self._pin_counts = np.diff(
+            np.append(arrays.starts, arrays.num_pins)
+        )
+        # block geometry is a pure function of (block index, row order,
+        # extra flips); SA revisits the same handful of geometries per
+        # block thousands of times, so pin offsets and extents memoize
+        self._geom_cache: dict[
+            tuple[int, tuple[int, ...], bool, bool],
+            tuple[np.ndarray, np.ndarray, float, float, float, float],
+        ] = {}
+        self._cur: "_Cache | None" = None
+        self._pending: "_Cache | None" = None
+
+    # -- full evaluation ----------------------------------------------
+    def reset(
+        self,
+        blocks: list[Block],
+        pair: SequencePair,
+        free_flips: dict[int, tuple[bool, bool]],
+    ) -> float:
+        """Evaluate a state from scratch and make it current."""
+        self._cur = self._full(blocks, pair, free_flips)
+        self._pending = None
+        return self._cur.cost
+
+    def _full(
+        self,
+        blocks: list[Block],
+        pair: SequencePair,
+        free_flips: dict[int, tuple[bool, bool]],
+    ) -> _Cache:
+        self.full_evals += 1
+        n = self.circuit.num_devices
+        nb = len(blocks)
+        cache = _Cache()
+        cache.rel_x = np.zeros(n)
+        cache.rel_y = np.zeros(n)
+        cache.fx = np.zeros(n, dtype=bool)
+        cache.fy = np.zeros(n, dtype=bool)
+        cache.block_w = [0.0] * nb
+        cache.block_h = [0.0] * nb
+        cache.ext_lo_x = [0.0] * nb
+        cache.ext_hi_x = [0.0] * nb
+        cache.ext_lo_y = [0.0] * nb
+        cache.ext_hi_y = [0.0] * nb
+        for k, block in enumerate(blocks):
+            efx, efy = free_flips.get(k, (False, False))
+            idx = np.asarray(block.device_indices, dtype=int)
+            rel_x, rel_y, bfx, bfy = block_geometry(block, efx, efy)
+            cache.rel_x[idx] = rel_x
+            cache.rel_y[idx] = rel_y
+            cache.fx[idx] = bfx
+            cache.fy[idx] = bfy
+            self._dev_block[idx] = k
+            cache.block_w[k] = block.width
+            cache.block_h[k] = block.height
+            cache.ext_lo_x[k] = float((rel_x - self.half_w[idx]).min())
+            cache.ext_hi_x[k] = float((rel_x + self.half_w[idx]).max())
+            cache.ext_lo_y[k] = float((rel_y - self.half_h[idx]).min())
+            cache.ext_hi_y[k] = float((rel_y + self.half_h[idx]).max())
+        cache.sign_x = np.where(cache.fx, -1.0, 1.0)
+        cache.sign_y = np.where(cache.fy, -1.0, 1.0)
+
+        a = self.arrays
+        if self._pin_block is None:
+            self._pin_block = self._dev_block[a.pin_dev]
+            self._build_static(nb)
+        cache.pin_rel_x = (
+            cache.rel_x[a.pin_dev]
+            + a.pin_offx * cache.sign_x[a.pin_dev]
+        )
+        cache.pin_rel_y = (
+            cache.rel_y[a.pin_dev]
+            + a.pin_offy * cache.sign_y[a.pin_dev]
+        )
+        cache.bx_l, cache.by_l = pack_lists(
+            pair.plus, pair.minus, cache.block_w, cache.block_h
+        )
+        cache.bx = np.asarray(cache.bx_l)
+        cache.by = np.asarray(cache.by_l)
+        cache.spans = self._spans_all(cache)
+        self._finish(cache, blocks, pair, free_flips)
+        return cache
+
+    def _build_static(self, nb: int) -> None:
+        """Precompute per-block dirty-net structures.
+
+        For a geometry-only move of block ``k`` the dirty nets are
+        exactly the nets with a pin on ``k`` — a static set, so the
+        net mask, the gather indices of *all* pins on those nets and
+        the ``reduceat`` segment boundaries are computed once.
+        """
+        a = self.arrays
+        pin_block = self._pin_block
+        assert pin_block is not None
+        for k in range(nb):
+            pins_k = np.flatnonzero(pin_block == k)
+            self._block_pins.append(pins_k)
+            if a.num_nets:
+                on_block = np.zeros(a.num_nets, dtype=bool)
+                on_block[np.unique(a.pin_net[pins_k])] = True
+            else:
+                on_block = np.zeros(0, dtype=bool)
+            self._block_net_mask.append(on_block)
+            self._block_net_count.append(int(np.count_nonzero(on_block)))
+            # all pins of those nets; pin order is net-major, so
+            # flatnonzero keeps reduceat segments contiguous
+            dirty_pins = np.flatnonzero(on_block[a.pin_net])
+            self._block_dirty_pins.append(dirty_pins)
+            self._block_dirty_pb.append(pin_block[dirty_pins])
+            counts = self._pin_counts[on_block]
+            self._block_sub_starts.append(
+                np.concatenate(([0], np.cumsum(counts)[:-1])).astype(int)
+            )
+
+    # -- incremental evaluation ---------------------------------------
+    def propose(
+        self,
+        blocks: list[Block],
+        pair: SequencePair,
+        free_flips: dict[int, tuple[bool, bool]],
+        touched_block: "int | None",
+    ) -> float:
+        """Cost of a candidate differing from the current state by one
+        move; cached as *pending* until :meth:`commit`."""
+        cur = self._cur
+        if cur is None:
+            raise RuntimeError("evaluator has no current state; call reset")
+        cand = cur.shallow()
+        k = touched_block
+        if k is not None:
+            self._update_geometry(cand, blocks, free_flips, k)
+        if (
+            k is not None
+            and cand.block_w[k] == cur.block_w[k]
+            and cand.block_h[k] == cur.block_h[k]
+        ):
+            # geometry-only move: dims and pair unchanged, so the
+            # packing (bx/by, shared via the shallow copy) is still
+            # valid and the dirty-net set is the precomputed one
+            n_dirty = self._block_net_count[k]
+            if n_dirty == 0:
+                pass  # spans shared via the shallow copy
+            elif n_dirty >= self.arrays.num_nets * \
+                    FULL_RECOMPUTE_FRACTION:
+                cand.spans = self._spans_all(cand)
+            else:
+                cand.spans = self._spans_subset(cand, cur, k)
+        else:
+            cand.bx_l, cand.by_l = pack_lists(
+                pair.plus, pair.minus, cand.block_w, cand.block_h
+            )
+            if k is None and cand.bx_l == cur.bx_l \
+                    and cand.by_l == cur.by_l:
+                pass  # no block moved: bx/by/spans shared as-is
+            else:
+                cand.bx = np.asarray(cand.bx_l)
+                cand.by = np.asarray(cand.by_l)
+                moved = (cand.bx != cur.bx) | (cand.by != cur.by)
+                if k is not None:
+                    moved[k] = True
+                cand.spans = self._spans_update(cand, cur, moved)
+        self._finish(cand, blocks, pair, free_flips)
+        self._pending = cand
+        self.incremental_evals += 1
+        return cand.cost
+
+    def _block_geom(
+        self, blocks: list[Block], k: int, efx: bool, efy: bool
+    ) -> tuple[np.ndarray, np.ndarray, float, float, float, float]:
+        """Memoized per-block pin offsets and extents.
+
+        Returns ``(pin_rel_x, pin_rel_y, lo_x, hi_x, lo_y, hi_y)`` for
+        block ``k``'s pins under its current row order and the given
+        extra flips.  Keyed by row order (not object identity) so
+        memoized reorder blocks share entries.
+        """
+        block = blocks[k]
+        key = (k, tuple(block.row_order), efx, efy)
+        vals = self._geom_cache.get(key)
+        if vals is None:
+            a = self.arrays
+            rel_x, rel_y, bfx, bfy = block_geometry(block, efx, efy)
+            idx = np.asarray(block.device_indices, dtype=int)
+            psel = self._block_pins[k]
+            # pin → member-position map under this row order
+            pos = {d: i for i, d in enumerate(block.device_indices)}
+            mem = np.array(
+                [pos[d] for d in a.pin_dev[psel]], dtype=int
+            )
+            sign_x = np.where(np.atleast_1d(bfx), -1.0, 1.0)
+            sign_y = np.where(np.atleast_1d(bfy), -1.0, 1.0)
+            rel_x = np.atleast_1d(rel_x)
+            rel_y = np.atleast_1d(rel_y)
+            prx = rel_x[mem] + a.pin_offx[psel] * sign_x[mem]
+            pry = rel_y[mem] + a.pin_offy[psel] * sign_y[mem]
+            vals = (
+                prx, pry,
+                float((rel_x - self.half_w[idx]).min()),
+                float((rel_x + self.half_w[idx]).max()),
+                float((rel_y - self.half_h[idx]).min()),
+                float((rel_y + self.half_h[idx]).max()),
+            )
+            self._geom_cache[key] = vals
+        return vals
+
+    def _update_geometry(
+        self,
+        cand: _Cache,
+        blocks: list[Block],
+        free_flips: dict[int, tuple[bool, bool]],
+        k: int,
+    ) -> None:
+        """Refresh pin/extent caches for one re-shaped block.
+
+        The candidate's *device*-level arrays (``rel_x`` … ``sign_y``)
+        are left untouched — they are full-evaluation artifacts; the
+        span and area kernels only read the pin offsets and extents
+        maintained here.
+        """
+        block = blocks[k]
+        efx, efy = free_flips.get(k, (False, False))
+        prx, pry, lo_x, hi_x, lo_y, hi_y = self._block_geom(
+            blocks, k, efx, efy
+        )
+        if block.width != cand.block_w[k] or \
+                block.height != cand.block_h[k]:
+            cand.block_w = list(cand.block_w)
+            cand.block_h = list(cand.block_h)
+            cand.block_w[k] = block.width
+            cand.block_h[k] = block.height
+        cand.ext_lo_x = list(cand.ext_lo_x)
+        cand.ext_hi_x = list(cand.ext_hi_x)
+        cand.ext_lo_y = list(cand.ext_lo_y)
+        cand.ext_hi_y = list(cand.ext_hi_y)
+        cand.ext_lo_x[k] = lo_x
+        cand.ext_hi_x[k] = hi_x
+        cand.ext_lo_y[k] = lo_y
+        cand.ext_hi_y[k] = hi_y
+        psel = self._block_pins[k]
+        if len(psel):
+            cand.pin_rel_x = cand.pin_rel_x.copy()
+            cand.pin_rel_y = cand.pin_rel_y.copy()
+            cand.pin_rel_x[psel] = prx
+            cand.pin_rel_y[psel] = pry
+
+    def commit(self) -> None:
+        """Promote the last :meth:`propose` result to current state."""
+        if self._pending is None:
+            raise RuntimeError("no pending candidate to commit")
+        self._cur = self._pending
+        self._pending = None
+
+    @property
+    def cost(self) -> float:
+        """Cost of the current (committed) state."""
+        if self._cur is None:
+            raise RuntimeError("evaluator has no current state")
+        return self._cur.cost
+
+    # -- span computation ---------------------------------------------
+    def _spans_all(self, cache: _Cache) -> np.ndarray:
+        a = self.arrays
+        px = cache.bx[self._pin_block] + cache.pin_rel_x
+        py = cache.by[self._pin_block] + cache.pin_rel_y
+        return (
+            np.maximum.reduceat(px, a.starts)
+            - np.minimum.reduceat(px, a.starts)
+            + np.maximum.reduceat(py, a.starts)
+            - np.minimum.reduceat(py, a.starts)
+        )
+
+    def _spans_subset(
+        self, cand: _Cache, cur: _Cache, k: int
+    ) -> np.ndarray:
+        """Candidate spans after a geometry-only move of block ``k``,
+        recomputing exactly the nets with a pin on that block."""
+        pins = self._block_dirty_pins[k]
+        px = cand.bx[self._block_dirty_pb[k]] + cand.pin_rel_x[pins]
+        py = cand.by[self._block_dirty_pb[k]] + cand.pin_rel_y[pins]
+        ss = self._block_sub_starts[k]
+        sub = (
+            np.maximum.reduceat(px, ss)
+            - np.minimum.reduceat(px, ss)
+            + np.maximum.reduceat(py, ss)
+            - np.minimum.reduceat(py, ss)
+        )
+        spans = cur.spans.copy()
+        spans[self._block_net_mask[k]] = sub
+        return spans
+
+    def _spans_update(
+        self, cand: _Cache, cur: _Cache, moved: np.ndarray
+    ) -> np.ndarray:
+        """Candidate span vector, recomputing only dirty nets.
+
+        A net is dirty when any of its pins sits on a block that moved
+        or changed geometry.  Clean nets keep their cached span — valid
+        because per-net max/min reductions are order-insensitive, so a
+        cached span is bitwise what a full recompute would produce.
+        """
+        a = self.arrays
+        if a.num_nets == 0:
+            return cur.spans
+        net_dirty = np.logical_or.reduceat(
+            moved[self._pin_block], a.starts
+        )
+        n_dirty = int(np.count_nonzero(net_dirty))
+        if n_dirty == 0:
+            return cur.spans
+        if n_dirty >= a.num_nets * FULL_RECOMPUTE_FRACTION:
+            return self._spans_all(cand)
+        pins = net_dirty[a.pin_net]
+        pb = self._pin_block[pins]
+        px = cand.bx[pb] + cand.pin_rel_x[pins]
+        py = cand.by[pb] + cand.pin_rel_y[pins]
+        counts = self._pin_counts[net_dirty]
+        sub_starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        sub = (
+            np.maximum.reduceat(px, sub_starts)
+            - np.minimum.reduceat(px, sub_starts)
+            + np.maximum.reduceat(py, sub_starts)
+            - np.minimum.reduceat(py, sub_starts)
+        )
+        spans = cur.spans.copy()
+        spans[net_dirty] = sub
+        return spans
+
+    # -- cost assembly -------------------------------------------------
+    def _finish(
+        self,
+        cache: _Cache,
+        blocks: list[Block],
+        pair: SequencePair,
+        free_flips: dict[int, tuple[bool, bool]],
+    ) -> None:
+        """HPWL + area (+ optional performance hook) from the caches."""
+        cache.hpwl = float(np.dot(self.arrays.weights, cache.spans))
+        bx_l, by_l = cache.bx_l, cache.by_l
+        w = max(b + e for b, e in zip(bx_l, cache.ext_hi_x)) \
+            - min(b + e for b, e in zip(bx_l, cache.ext_lo_x))
+        h = max(b + e for b, e in zip(by_l, cache.ext_hi_y)) \
+            - min(b + e for b, e in zip(by_l, cache.ext_lo_y))
+        cost = (
+            cache.hpwl / self.hpwl_norm
+            + self.area_weight * (w * h) / self.area_norm
+        )
+        if self.cost_hook is not None and self.perf_weight > 0:
+            placement = realize_placement(
+                self.circuit, blocks, pair, free_flips
+            )
+            cost += self.perf_weight * self.cost_hook(placement)
+        cache.cost = cost
+
+    # -- drift audit ---------------------------------------------------
+    def audit(
+        self,
+        blocks: list[Block],
+        pair: SequencePair,
+        free_flips: dict[int, tuple[bool, bool]],
+    ) -> float:
+        """Full recompute of the current state; raise on cache drift.
+
+        Returns the absolute cost deviation (0.0 in a healthy run) and
+        resynchronises the cache, so even a tolerated sub-threshold
+        deviation cannot accumulate.
+        """
+        if self._cur is None:
+            raise RuntimeError("evaluator has no current state")
+        cached = self._cur
+        fresh = self._full(blocks, pair, free_flips)
+        self.audits += 1
+        deviation = abs(fresh.cost - cached.cost)
+        span_dev = (
+            float(np.abs(fresh.spans - cached.spans).max())
+            if len(fresh.spans) else 0.0
+        )
+        scale = max(abs(fresh.cost), 1.0)
+        if deviation > self.audit_tol * scale or \
+                span_dev > self.audit_tol * max(self.hpwl_norm, 1.0):
+            raise CostDriftError(
+                "incremental SA cost drifted from full recompute: "
+                f"cost {cached.cost!r} vs {fresh.cost!r} "
+                f"(|delta| {deviation:.3e}), max span delta "
+                f"{span_dev:.3e}"
+            )
+        self._cur = fresh
+        self._pending = None
+        return deviation

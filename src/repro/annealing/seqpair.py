@@ -13,6 +13,45 @@ from __future__ import annotations
 import numpy as np
 
 
+def pack_lists(
+    plus: list[int],
+    minus: list[int],
+    widths,
+    heights,
+) -> tuple[list[float], list[float]]:
+    """Longest-path packing over plain Python lists.
+
+    Same dynamic program as :meth:`SequencePair.pack` but operating on
+    (and returning) Python lists — per-element indexing of numpy arrays
+    is the dominant cost at analog block counts, and the SA move loop
+    calls this for every sequence move.  Results are bitwise identical
+    to the array version (same additions, same comparisons).
+    """
+    n = len(plus)
+    pos_plus = [0] * n
+    for i, b in enumerate(plus):
+        pos_plus[b] = i
+    x = [0.0] * n
+    y = [0.0] * n
+    for k, b in enumerate(minus):
+        best_x = 0.0
+        best_y = 0.0
+        pb = pos_plus[b]
+        for i in range(k):
+            a = minus[i]
+            if pos_plus[a] < pb:  # a left of b
+                v = x[a] + widths[a]
+                if v > best_x:
+                    best_x = v
+            else:  # a after b in s+, before in s-: a below b
+                v = y[a] + heights[a]
+                if v > best_y:
+                    best_y = v
+        x[b] = best_x
+        y[b] = best_y
+    return x, y
+
+
 class SequencePair:
     """A pair of permutations over ``n`` blocks."""
 
@@ -33,7 +72,12 @@ class SequencePair:
         return cls(rng.permutation(n), rng.permutation(n))
 
     def copy(self) -> "SequencePair":
-        return SequencePair(self.plus, self.minus)
+        # bypass __init__: copying a valid pair cannot invalidate it,
+        # and the permutation check is measurable in the SA move loop
+        out = SequencePair.__new__(SequencePair)
+        out.plus = list(self.plus)
+        out.minus = list(self.minus)
+        return out
 
     # ------------------------------------------------------------------
     def pack(
@@ -44,26 +88,10 @@ class SequencePair:
         ``x[b]`` is the longest path of widths over blocks left of
         ``b``; ``y[b]`` the longest path of heights over blocks below.
         """
-        n = len(self.plus)
-        pos_plus = np.empty(n, dtype=int)
-        pos_plus[self.plus] = np.arange(n)
-
-        x = np.zeros(n)
-        y = np.zeros(n)
-        # process in s- order: every predecessor relation (left-of and
-        # below) pairs a block with one earlier in s-
-        for k, b in enumerate(self.minus):
-            best_x = 0.0
-            best_y = 0.0
-            pb = pos_plus[b]
-            for a in self.minus[:k]:
-                if pos_plus[a] < pb:  # a left of b
-                    best_x = max(best_x, x[a] + widths[a])
-                else:  # a after b in s+, before in s-: a below b
-                    best_y = max(best_y, y[a] + heights[a])
-            x[b] = best_x
-            y[b] = best_y
-        return x, y
+        x, y = pack_lists(
+            self.plus, self.minus, widths.tolist(), heights.tolist()
+        )
+        return np.asarray(x), np.asarray(y)
 
     def bounding_box(
         self, widths: np.ndarray, heights: np.ndarray

@@ -22,14 +22,16 @@ per-phase spans and per-iteration convergence records.
 
 from __future__ import annotations
 
-from typing import Any
+from dataclasses import replace
+from typing import Any, Sequence
 
 from .annealing import SAParams, anneal_place
 from .eplace import EPlaceParams, eplace_global
 from .legalize import DetailedParams, detailed_place, \
     lp_two_stage_detailed_placement
 from .netlist import Circuit
-from .obs import metrics, trace
+from .obs import metrics, trace, tracing
+from .parallel import parallel_map
 from .placement import PlacerResult
 from .xu_ispd19 import XuParams, xu_global
 
@@ -91,6 +93,88 @@ def place_annealing(
     result = anneal_place(circuit, params)
     metrics.counter("repro.placements").inc()
     return result
+
+
+def _reseed_kwargs(
+    method: str, kwargs: dict[str, Any], seed: int,
+) -> dict[str, Any]:
+    """Return ``kwargs`` with the engine's seed field set to ``seed``.
+
+    Mirrors the parameter layout :func:`place` expects: ``params`` for
+    annealing, ``gp_params`` for the analytical flows (their detailed
+    stages are deterministic and carry no seed).
+    """
+    out = dict(kwargs)
+    if method == "annealing":
+        out["params"] = replace(
+            out.get("params") or SAParams(), seed=seed
+        )
+    elif method == "eplace-a":
+        out["gp_params"] = replace(
+            out.get("gp_params") or EPlaceParams(
+                utilization=0.8, eta=0.3),
+            seed=seed,
+        )
+    elif method == "xu-ispd19":
+        out["gp_params"] = replace(
+            out.get("gp_params") or XuParams(), seed=seed
+        )
+    else:
+        raise ValueError(
+            f"unknown method {method!r}; choose one of {METHODS}"
+        )
+    return out
+
+
+def _seed_worker(
+    payload: tuple[Circuit, str, int, dict[str, Any], bool],
+) -> PlacerResult:
+    """One seeded :func:`place` run, optionally under its own tracer.
+
+    Module-level so :func:`repro.parallel.parallel_map` can pickle it;
+    also the inline (``jobs=1``) execution path, keeping sequential
+    and parallel runs on identical code.
+    """
+    circuit, method, seed, kwargs, traced = payload
+    kwargs = _reseed_kwargs(method, kwargs, seed)
+    if traced:
+        with tracing():
+            return place(circuit, method, **kwargs)
+    return place(circuit, method, **kwargs)
+
+
+def place_multiseed(
+    circuit: Circuit,
+    method: str = "annealing",
+    seeds: "Sequence[int]" = (1, 2, 3),
+    jobs: int = 1,
+    **kwargs: Any,
+) -> list[PlacerResult]:
+    """Run :func:`place` once per seed; results come back in seed order.
+
+    Seeds shard across up to ``jobs`` worker processes
+    (:mod:`repro.parallel`); each run is an independent seeded engine
+    execution, so placements and metrics are identical for any
+    ``jobs``.  When the calling thread has an active tracer, every
+    worker runs under its own tracer and the per-seed traces are
+    absorbed back into the caller's (in seed order), so the merged
+    trace matches a sequential traced run.
+
+    Pick a winner with e.g. ``min(results, key=lambda r:
+    r.metrics()["hpwl"])`` — engines normalise their cost terms
+    differently, so the caller chooses the selection metric.
+    """
+    tracer = trace.current()
+    traced = tracer.enabled
+    results = parallel_map(
+        _seed_worker,
+        [(circuit, method, seed, kwargs, traced) for seed in seeds],
+        jobs=jobs,
+    )
+    if traced:
+        for result in results:
+            tracer.absorb(result.trace)
+    return results
 
 
 def place(circuit: Circuit, method: str = "eplace-a",

@@ -44,7 +44,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     _echo(f"running suite {suite.describe()}")
     path = run_to_file(
         suite, args.out, repeats=args.repeats, warmup=args.warmup,
-        series_points=args.series_points,
+        series_points=args.series_points, jobs=args.jobs,
     )
     _echo(f"artifact : {path}")
     return 0
@@ -133,6 +133,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--series-points", type=int, default=DEFAULT_SERIES_POINTS,
         help="max stored points per convergence series",
     )
+    p_run.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for case fan-out (0 = all cores); "
+             "metrics are identical to --jobs 1, but record timing "
+             "baselines sequentially to avoid CPU contention",
+    )
 
     p_cmp = sub.add_parser(
         "compare",
@@ -171,6 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("artifact", help="BENCH_*.json to render")
     p_rep.add_argument(
         "--format", choices=("md", "html"), default="md",
+        help="output format (default: md)",
     )
     p_rep.add_argument(
         "--out", help="write the report here instead of stdout"

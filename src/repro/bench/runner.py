@@ -31,6 +31,7 @@ from ..legalize import DetailedParams
 from ..obs import env, memory, tracing
 from ..obs.log import get_logger
 from ..obs.trace import Trace
+from ..parallel import parallel_map
 from ..placement import PlacerResult
 from ..xu_ispd19 import XuParams
 from .artifact import SCHEMA, artifact_filename, save_artifact, \
@@ -183,28 +184,56 @@ def run_case(
     return records
 
 
+def _case_worker(
+    payload: tuple[CaseSpec, dict[str, Any], int, int, int],
+) -> list[dict[str, Any]]:
+    """Picklable :func:`run_case` wrapper for the process pool."""
+    case, overrides, repeats, warmup, series_points = payload
+    return run_case(
+        case, overrides,
+        repeats=repeats, warmup=warmup, series_points=series_points,
+    )
+
+
 def run_suite(
     suite: SuiteSpec,
     repeats: "int | None" = None,
     warmup: "int | None" = None,
     series_points: int = DEFAULT_SERIES_POINTS,
+    jobs: int = 1,
 ) -> dict[str, Any]:
-    """Execute a whole suite; returns the validated artifact dict."""
+    """Execute a whole suite; returns the validated artifact dict.
+
+    ``jobs > 1`` fans the cases out over worker processes
+    (:mod:`repro.parallel`).  Cases are seed-sharded — one worker owns
+    one (engine, circuit, seed) cell end to end — and the artifact
+    lists runs in the same deterministic case order as ``jobs=1``, so
+    metrics/convergence output is identical; only the ``runtime_s``
+    measurements see whatever CPU contention the parallelism causes
+    (record comparison baselines with ``jobs=1``).
+    """
     effective_repeats = suite.repeats if repeats is None else repeats
     effective_warmup = suite.warmup if warmup is None else warmup
-    runs: list[dict[str, Any]] = []
     cases = suite.cases()
-    for number, case in enumerate(cases, start=1):
-        logger.info(
-            "bench case %d/%d: %s", number, len(cases), case.key
-        )
-        runs.extend(run_case(
-            case,
-            suite.params.get(case.engine, {}),
-            repeats=effective_repeats,
-            warmup=effective_warmup,
-            series_points=series_points,
-        ))
+    logger.info("bench suite %s: %d cases, jobs=%d",
+                suite.name, len(cases), jobs)
+    per_case = parallel_map(
+        _case_worker,
+        [
+            (
+                case,
+                suite.params.get(case.engine, {}),
+                effective_repeats,
+                effective_warmup,
+                series_points,
+            )
+            for case in cases
+        ],
+        jobs=jobs,
+    )
+    runs: list[dict[str, Any]] = []
+    for records in per_case:
+        runs.extend(records)
     doc: dict[str, Any] = {
         "schema": SCHEMA,
         "created_utc": env.iso_timestamp(),
@@ -228,6 +257,7 @@ def run_to_file(
     repeats: "int | None" = None,
     warmup: "int | None" = None,
     series_points: int = DEFAULT_SERIES_POINTS,
+    jobs: int = 1,
 ) -> str:
     """Run ``suite`` and write ``BENCH_<stamp>.json`` under ``out_dir``.
 
@@ -235,7 +265,7 @@ def run_to_file(
     """
     doc = run_suite(
         suite, repeats=repeats, warmup=warmup,
-        series_points=series_points,
+        series_points=series_points, jobs=jobs,
     )
     os.makedirs(out_dir, exist_ok=True)
     path = os.path.join(str(out_dir), artifact_filename(

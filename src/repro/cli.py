@@ -23,7 +23,7 @@ import sys
 
 from . import obs
 from .annealing import SAParams
-from .api import METHODS, place
+from .api import METHODS, place, place_multiseed
 from .circuits import PAPER_TESTCASES, make
 from .placement import audit_constraints
 from .placement.io import load_placement, save_placement, save_svg
@@ -42,6 +42,22 @@ def _normalize(name: str) -> str:
 
 #: forgiving lookup: "cmota1", "CM-OTA1" and "cm_ota1" all resolve
 CIRCUIT_ALIASES = {_normalize(name): name for name in PAPER_TESTCASES}
+
+
+def _parse_seeds(spec: "str | None") -> "list[int] | None":
+    """Parse a ``--seeds`` list like ``1,2,3`` (None when absent)."""
+    if not spec:
+        return None
+    try:
+        seeds = [int(part) for part in spec.split(",") if part.strip()]
+    except ValueError:
+        raise SystemExit(
+            f"--seeds expects a comma-separated integer list, "
+            f"got {spec!r}"
+        )
+    if not seeds:
+        raise SystemExit("--seeds expects at least one seed")
+    return seeds
 
 
 def resolve_circuit(name: str) -> str:
@@ -76,14 +92,30 @@ def _cmd_place(args) -> int:
     if args.method == "annealing":
         kwargs["params"] = SAParams(iterations=args.sa_iterations,
                                     seed=args.seed)
+    seeds = _parse_seeds(args.seeds)
     want_trace = bool(args.trace_out or args.profile)
+
+    def _run():
+        if seeds is None:
+            return place(circuit, args.method, **kwargs)
+        results = place_multiseed(
+            circuit, args.method, seeds=seeds, jobs=args.jobs,
+            **kwargs,
+        )
+        for seed, res in zip(seeds, results):
+            m = res.metrics()
+            _echo(f"seed {seed:4d}: hpwl {m['hpwl']:.2f} "
+                  f"area {m['area']:.2f} "
+                  f"runtime {m['runtime_s']:.2f}s")
+        return min(results, key=lambda r: r.metrics()["hpwl"])
+
     if want_trace:
         with obs.tracing() as tracer:
-            result = place(circuit, args.method, **kwargs)
+            result = _run()
         if not result.trace:
             result.trace = tracer.to_trace()
     else:
-        result = place(circuit, args.method, **kwargs)
+        result = _run()
     metrics = result.metrics()
     audit = audit_constraints(result.placement)
     _echo(f"method   : {result.method}")
@@ -154,7 +186,11 @@ def _cmd_table(args) -> int:
               "models; use the benchmark suite)", err=True)
         return 2
     run, fmt = drivers[args.name]
-    _echo(fmt(run(quick=args.quick)))
+    if args.name == "table3":
+        rows = run(quick=args.quick, jobs=args.jobs)
+    else:
+        rows = run(quick=args.quick)
+    _echo(fmt(rows))
     return 0
 
 
@@ -177,9 +213,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_place.add_argument("--circuit", dest="circuit_opt",
                          help="testcase (alternative to the positional)")
     p_place.add_argument("--method", choices=METHODS,
-                         default="eplace-a")
-    p_place.add_argument("--sa-iterations", type=int, default=20000)
-    p_place.add_argument("--seed", type=int, default=3)
+                         default="eplace-a",
+                         help="placement engine (default: eplace-a)")
+    p_place.add_argument("--sa-iterations", type=int, default=20000,
+                         help="annealing move budget "
+                              "(--method annealing only)")
+    p_place.add_argument("--seed", type=int, default=3,
+                         help="annealing RNG seed "
+                              "(ignored when --seeds is given)")
+    p_place.add_argument(
+        "--seeds", metavar="S1,S2,...",
+        help="run once per seed (process-parallel with --jobs), "
+             "print a per-seed summary and keep the best-HPWL result",
+    )
+    p_place.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for --seeds fan-out (0 = all cores)",
+    )
     p_place.add_argument("--out", help="save layout JSON here")
     p_place.add_argument("--svg", help="save layout SVG here")
     p_place.add_argument("--trace-out", metavar="FILE.jsonl",
@@ -194,14 +244,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sim = sub.add_parser("simulate",
                            help="simulate a layout's performance")
-    p_sim.add_argument("circuit")
+    p_sim.add_argument("circuit",
+                       help=f"testcase ({', '.join(PAPER_TESTCASES)})")
     p_sim.add_argument("--layout", help="layout JSON (else place fresh)")
-    p_sim.add_argument("--method", choices=METHODS, default="eplace-a")
+    p_sim.add_argument("--method", choices=METHODS, default="eplace-a",
+                       help="engine used when placing fresh "
+                            "(default: eplace-a)")
 
     p_table = sub.add_parser("table",
                              help="regenerate a paper table/figure")
-    p_table.add_argument("name")
-    p_table.add_argument("--quick", action="store_true")
+    p_table.add_argument(
+        "name",
+        help="experiment driver: table1, fig2, table3, table4 or fig5 "
+             "(performance tables need trained models; use the "
+             "benchmark suite)",
+    )
+    p_table.add_argument("--quick", action="store_true",
+                         help="reduced budgets (same as REPRO_QUICK=1)")
+    p_table.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for per-circuit fan-out "
+             "(table3 only; 0 = all cores)",
+    )
     return parser
 
 

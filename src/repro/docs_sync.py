@@ -1,0 +1,234 @@
+"""Keep documented CLI ``--help`` blocks in sync with the parsers.
+
+Markdown files (``docs/CLI.md``) embed the exact ``--help`` output of
+the ``repro`` and ``repro.bench`` command-line interfaces between
+marker comments::
+
+    <!-- cli-help: repro place -->
+    ```text
+    ...regenerated help text...
+    ```
+    <!-- /cli-help -->
+
+The text inside each block is *generated*, never hand-edited:
+
+* ``python -m repro.docs_sync --write`` regenerates every block from
+  the live ``build_parser()`` objects;
+* ``python -m repro.docs_sync --check`` (the CI mode) exits 1 and
+  prints a unified diff when any block is stale.
+
+Help rendering pins ``COLUMNS`` so the output is identical on every
+terminal and CI runner — argparse otherwise wraps to the current
+terminal width and the check would flap.
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import os
+import re
+import sys
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Callable, Iterator, Sequence
+
+#: width ``--help`` text is wrapped to, everywhere, always
+HELP_WIDTH = 80
+
+#: repository root (this file lives at ``src/repro/docs_sync.py``)
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: markdown files scanned by default, relative to the repository root
+DEFAULT_FILES = ("docs/CLI.md",)
+
+_BLOCK_RE = re.compile(
+    r"(?P<head><!-- cli-help: (?P<spec>[^\n]+?) -->\n```text\n)"
+    r"(?P<body>.*?)"
+    r"(?P<tail>```\n<!-- /cli-help -->)",
+    re.DOTALL,
+)
+
+
+class DocsSyncError(Exception):
+    """A marker names an unknown program or subcommand."""
+
+
+def _repro_parser() -> argparse.ArgumentParser:
+    from .cli import build_parser
+
+    return build_parser()
+
+
+def _bench_parser() -> argparse.ArgumentParser:
+    from .bench.cli import build_parser
+
+    return build_parser()
+
+
+#: top-level programs whose parsers can be documented
+PARSER_FACTORIES: dict[str, Callable[[], argparse.ArgumentParser]] = {
+    "repro": _repro_parser,
+    "repro.bench": _bench_parser,
+}
+
+
+@contextmanager
+def _pinned_columns(width: int) -> Iterator[None]:
+    """Force argparse's terminal-width probe to ``width`` columns."""
+    previous = os.environ.get("COLUMNS")
+    os.environ["COLUMNS"] = str(width)
+    try:
+        yield
+    finally:
+        if previous is None:
+            del os.environ["COLUMNS"]
+        else:
+            os.environ["COLUMNS"] = previous
+
+
+def _descend(parser: argparse.ArgumentParser,
+             name: str) -> argparse.ArgumentParser:
+    """Resolve subcommand ``name`` on ``parser`` (e.g. ``place``)."""
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            try:
+                return action.choices[name]
+            except KeyError:
+                known = ", ".join(sorted(action.choices))
+                raise DocsSyncError(
+                    f"unknown subcommand {name!r} (choose from {known})"
+                ) from None
+    raise DocsSyncError(f"{parser.prog!r} has no subcommands")
+
+
+def render_cli_help(spec: str, width: int = HELP_WIDTH) -> str:
+    """``--help`` text for ``spec`` like ``"repro place"``.
+
+    The first token selects the program (``repro`` or ``repro.bench``);
+    the remaining tokens descend into subparsers.  Output is wrapped to
+    ``width`` columns regardless of the real terminal.
+    """
+    prog, *path = spec.split()
+    try:
+        factory = PARSER_FACTORIES[prog]
+    except KeyError:
+        known = ", ".join(sorted(PARSER_FACTORIES))
+        raise DocsSyncError(
+            f"unknown program {prog!r} (choose from {known})"
+        ) from None
+    parser = factory()
+    for name in path:
+        parser = _descend(parser, name)
+    with _pinned_columns(width):
+        text = parser.format_help()
+    return text if text.endswith("\n") else text + "\n"
+
+
+def sync_text(text: str) -> tuple[str, list[str]]:
+    """Regenerate every marked block in ``text``.
+
+    Returns ``(new_text, stale_specs)`` where ``stale_specs`` lists the
+    block specs whose bodies changed.  Raises :class:`DocsSyncError` on
+    a marker naming an unknown command, and when the file contains no
+    markers at all (a silently-markerless file would make ``--check``
+    vacuous).
+    """
+    stale: list[str] = []
+
+    def _replace(match: "re.Match[str]") -> str:
+        spec = match.group("spec").strip()
+        body = render_cli_help(spec)
+        if body != match.group("body"):
+            stale.append(spec)
+        return match.group("head") + body + match.group("tail")
+
+    new_text, count = _BLOCK_RE.subn(_replace, text)
+    if count == 0:
+        raise DocsSyncError("no <!-- cli-help: ... --> markers found")
+    return new_text, stale
+
+
+def sync_file(path: Path, write: bool = False) -> list[str]:
+    """Check (or rewrite) one markdown file; returns stale specs."""
+    original = path.read_text()
+    updated, stale = sync_text(original)
+    if stale and write:
+        path.write_text(updated)
+    return stale
+
+
+def _diff(path: Path) -> str:
+    original = path.read_text()
+    updated, _stale = sync_text(original)
+    lines = difflib.unified_diff(
+        original.splitlines(keepends=True),
+        updated.splitlines(keepends=True),
+        fromfile=f"{path} (committed)",
+        tofile=f"{path} (regenerated)",
+    )
+    return "".join(lines)
+
+
+def _echo(message: str = "", err: bool = False) -> None:
+    """CLI output channel (keeps library code print-free, RPR202)."""
+    stream = sys.stderr if err else sys.stdout
+    stream.write(message + "\n")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.docs_sync",
+        description=(
+            "regenerate or verify the CLI --help blocks embedded in "
+            "the documentation (docs/CLI.md)"
+        ),
+    )
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--check", action="store_true", default=True,
+        help="exit 1 with a diff when any block is stale (default)",
+    )
+    mode.add_argument(
+        "--write", action="store_true",
+        help="rewrite stale blocks in place",
+    )
+    parser.add_argument(
+        "files", nargs="*",
+        help=f"markdown files to process (default: {' '.join(DEFAULT_FILES)})",
+    )
+    return parser
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.files:
+        paths = [Path(name) for name in args.files]
+    else:
+        paths = [REPO_ROOT / name for name in DEFAULT_FILES]
+    status = 0
+    for path in paths:
+        try:
+            stale = sync_file(path, write=args.write)
+        except FileNotFoundError:
+            _echo(f"error: {path} does not exist", err=True)
+            return 2
+        except DocsSyncError as exc:
+            _echo(f"error: {path}: {exc}", err=True)
+            return 2
+        if not stale:
+            _echo(f"{path}: in sync")
+        elif args.write:
+            _echo(f"{path}: rewrote {len(stale)} block(s): "
+                  f"{', '.join(stale)}")
+        else:
+            _echo(f"{path}: {len(stale)} stale block(s): "
+                  f"{', '.join(stale)}")
+            _echo(_diff(path))
+            _echo("run: python -m repro.docs_sync --write")
+            status = 1
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

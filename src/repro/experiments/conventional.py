@@ -18,8 +18,10 @@ from ..legalize import (
     detailed_place,
     lp_two_stage_detailed_placement,
 )
+from ..parallel import parallel_map
 from ..placement import audit_constraints
-from .common import Budgets, format_table, geometric_mean_ratio
+from .common import Budgets, format_table, geometric_mean_ratio, \
+    quick_mode_default
 
 #: circuits the paper uses for Table I
 TABLE1_CIRCUITS = ("CC-OTA", "Comp2", "VCO2")
@@ -127,26 +129,48 @@ def format_fig2(rows: list[dict]) -> str:
     )
 
 
-def run_table3(quick: bool | None = None,
-               circuits=PAPER_TESTCASES) -> list[dict]:
-    """Table III: SA vs previous analytical work [11] vs ePlace-A."""
+def _table3_row(payload: tuple[str, "bool | None"]) -> dict:
+    """One Table III row: all three engines on one circuit.
+
+    Module-level so :func:`repro.parallel.parallel_map` can shard rows
+    across worker processes; every engine run is seeded, so a row is
+    identical no matter which process computes it.
+    """
+    name, quick = payload
     budgets = Budgets.select(quick)
-    rows = []
-    for name in circuits:
-        sa = anneal_place(make(name), budgets.sa_params())
-        xu = place_xu_ispd19(make(name), gp_params=budgets.xu_params)
-        ep = place_eplace_a(make(name), gp_params=budgets.gp_params,
-                            dp_params=budgets.dp_params)
-        row = {"design": name}
-        for key, result in (("sa", sa), ("xu", xu), ("ep", ep)):
-            metrics = result.metrics()
-            assert metrics["overlap"] < 1e-6, (name, key)
-            assert audit_constraints(result.placement).ok, (name, key)
-            row[f"area_{key}"] = metrics["area"]
-            row[f"hpwl_{key}"] = metrics["hpwl"]
-            row[f"runtime_{key}"] = result.runtime_s
-        rows.append(row)
-    return rows
+    sa = anneal_place(make(name), budgets.sa_params())
+    xu = place_xu_ispd19(make(name), gp_params=budgets.xu_params)
+    ep = place_eplace_a(make(name), gp_params=budgets.gp_params,
+                        dp_params=budgets.dp_params)
+    row = {"design": name}
+    for key, result in (("sa", sa), ("xu", xu), ("ep", ep)):
+        metrics = result.metrics()
+        assert metrics["overlap"] < 1e-6, (name, key)
+        assert audit_constraints(result.placement).ok, (name, key)
+        row[f"area_{key}"] = metrics["area"]
+        row[f"hpwl_{key}"] = metrics["hpwl"]
+        row[f"runtime_{key}"] = result.runtime_s
+    return row
+
+
+def run_table3(quick: bool | None = None,
+               circuits=PAPER_TESTCASES, jobs: int = 1) -> list[dict]:
+    """Table III: SA vs previous analytical work [11] vs ePlace-A.
+
+    ``jobs > 1`` distributes circuits over worker processes; rows come
+    back in circuit order with identical metrics (reported runtimes
+    are each engine's own stopwatch, so they remain comparable, though
+    CPU contention can inflate them — use ``jobs=1`` for the paper's
+    runtime columns).
+    """
+    # resolve the env default once so worker processes cannot disagree
+    # with the parent about quick mode
+    effective_quick = quick_mode_default() if quick is None else quick
+    return parallel_map(
+        _table3_row,
+        [(name, effective_quick) for name in circuits],
+        jobs=jobs,
+    )
 
 
 def table3_ratios(rows: list[dict]) -> dict[str, float]:

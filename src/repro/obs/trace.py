@@ -306,6 +306,43 @@ class Tracer:
             )
             self._total_records += 1
 
+    def absorb(self, trace: Trace) -> None:
+        """Merge a finished :class:`Trace` into this tracer.
+
+        The fan-out sites in :mod:`repro.parallel` run each worker
+        under its own tracer (tracers are thread- and process-local)
+        and ship the resulting trace back with the worker's result;
+        absorbing them here makes the parent's trace cover the whole
+        fan-out as if it had run inline.  Spans and iteration records
+        are appended in call order (deterministic when workers are
+        absorbed in input order), timers accumulate by name.
+
+        Counter/gauge snapshots are *not* absorbed: they mirror the
+        global metrics registry, which worker processes do not share.
+        """
+        if not self.enabled or not trace:
+            return
+        with self._lock:
+            for span_record in trace.spans:
+                if len(self._spans) >= self.max_spans:
+                    self._dropped_spans += 1
+                else:
+                    self._spans.append(span_record)
+            self._dropped_spans += trace.dropped_spans
+            for record in trace.convergence:
+                self._records.append(record)
+                self._total_records += 1
+            self._total_records += trace.dropped_records
+            for name, agg in trace.timers.items():
+                mine = self._timers.get(name)
+                if mine is None:
+                    self._timers[name] = [
+                        agg["total_s"], agg["calls"]
+                    ]
+                else:
+                    mine[0] += agg["total_s"]
+                    mine[1] += agg["calls"]
+
     def to_trace(self) -> Trace:
         """Snapshot everything recorded so far as a :class:`Trace`.
 

@@ -71,6 +71,56 @@ class TestDensityGrid:
             DensityGrid(np.ones(1), np.ones(1), 0.0, 5.0)
 
 
+class TestVectorizedKernelAgreement:
+    """The batched matmul kernels vs the per-device reference loops.
+
+    The vectorised ``rasterize``/``energy_and_grad`` must reproduce
+    ``rasterize_loop``/``energy_and_grad_loop`` to numerical round-off
+    (summation order differs, exact bitwise equality is not expected);
+    the fixtures cover in-region, clamped-stray and degenerate cases.
+    """
+
+    def _fixtures(self):
+        rng = np.random.default_rng(123)
+        for n, bins, rw, rh in [(1, 8, 4.0, 4.0), (4, 24, 12.0, 12.0),
+                                (13, 16, 10.0, 7.0), (40, 64, 20.0, 20.0)]:
+            widths = rng.uniform(0.5, 3.0, n)
+            heights = rng.uniform(0.5, 3.0, n)
+            grid = DensityGrid(widths, heights, rw, rh, bins=bins)
+            # positions straddle the region so clamping paths run too
+            x = rng.uniform(-2.0, rw + 2.0, n)
+            y = rng.uniform(-2.0, rh + 2.0, n)
+            yield grid, x, y
+
+    def test_rasterize_matches_loop(self):
+        for grid, x, y in self._fixtures():
+            fast = grid.rasterize(x, y)
+            ref = grid.rasterize_loop(x, y)
+            assert np.abs(fast - ref).max() < 1e-10
+
+    def test_energy_and_grad_match_loop(self):
+        for grid, x, y in self._fixtures():
+            e_f, gx_f, gy_f, of_f = grid.energy_and_grad(x, y)
+            e_r, gx_r, gy_r, of_r = grid.energy_and_grad_loop(x, y)
+            scale = max(abs(e_r), 1.0)
+            assert abs(e_f - e_r) < 1e-10 * scale
+            assert np.abs(gx_f - gx_r).max() < 1e-10
+            assert np.abs(gy_f - gy_r).max() < 1e-10
+            assert abs(of_f - of_r) < 1e-12
+
+    def test_energy_descent_direction(self, rng):
+        """The batched gradient still points downhill in energy."""
+        widths = np.full(6, 2.0)
+        heights = np.full(6, 2.0)
+        grid = DensityGrid(widths, heights, 12.0, 12.0, bins=24)
+        x = rng.uniform(4.0, 8.0, 6)
+        y = rng.uniform(4.0, 8.0, 6)
+        energy, gx, gy, _ = grid.energy_and_grad(x, y)
+        step = 1e-3
+        moved, *_ = grid.energy_and_grad(x - step * gx, y - step * gy)
+        assert moved < energy
+
+
 class TestBellDensity:
     def test_profile_continuity_and_support(self):
         size, bin_size = 2.0, 0.5

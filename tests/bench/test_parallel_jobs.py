@@ -1,0 +1,46 @@
+"""``bench run --jobs N`` must match ``--jobs 1`` except for timings."""
+
+from __future__ import annotations
+
+from repro.bench import run_suite
+from repro.bench.spec import SuiteSpec
+
+
+def _tiny_suite() -> SuiteSpec:
+    return SuiteSpec(
+        name="unit-jobs",
+        engines=["annealing"],
+        circuits=["Adder", "CC-OTA"],
+        seeds=[1, 2],
+        repeats=1,
+        warmup=0,
+        params={
+            "annealing": {"iterations": 400, "polish_evals": 50},
+        },
+    )
+
+
+def _comparable(doc: dict) -> list[dict]:
+    """Everything deterministic in an artifact's runs: identity,
+    quality metrics and convergence series — not wall-clock."""
+    return [
+        {
+            "key": (r["engine"], r["circuit"], r["seed"], r["repeat"]),
+            "metrics": r["metrics"],
+            "convergence": r["convergence"],
+        }
+        for r in doc["runs"]
+    ]
+
+
+def test_jobs_output_identical_to_sequential():
+    sequential = run_suite(_tiny_suite(), jobs=1)
+    parallel = run_suite(_tiny_suite(), jobs=4)
+    assert _comparable(sequential) == _comparable(parallel)
+
+
+def test_jobs_keeps_memory_and_phases():
+    doc = run_suite(_tiny_suite(), jobs=2)
+    for run in doc["runs"]:
+        assert run["phases"]
+        assert run["mem"]["overall_peak_kib"] > 0

@@ -1,0 +1,79 @@
+"""The documented CLI ``--help`` blocks must match the live parsers."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.docs_sync import (
+    DEFAULT_FILES,
+    REPO_ROOT,
+    DocsSyncError,
+    main,
+    render_cli_help,
+    sync_file,
+    sync_text,
+)
+
+
+class TestRenderCliHelp:
+    def test_known_specs_render(self):
+        assert "--seeds" in render_cli_help("repro place")
+        assert "--jobs" in render_cli_help("repro.bench run")
+        assert "--warn-only" in render_cli_help("repro.bench compare")
+
+    def test_width_pinned_against_terminal(self, monkeypatch):
+        monkeypatch.setenv("COLUMNS", "200")
+        wide = render_cli_help("repro place")
+        monkeypatch.setenv("COLUMNS", "20")
+        narrow = render_cli_help("repro place")
+        assert wide == narrow
+
+    def test_unknown_program_rejected(self):
+        with pytest.raises(DocsSyncError, match="unknown program"):
+            render_cli_help("nosuchtool")
+
+    def test_unknown_subcommand_rejected(self):
+        with pytest.raises(DocsSyncError, match="unknown subcommand"):
+            render_cli_help("repro frobnicate")
+
+
+class TestSyncText:
+    _TEMPLATE = (
+        "# doc\n\n"
+        "<!-- cli-help: repro simulate -->\n```text\n"
+        "{body}"
+        "```\n<!-- /cli-help -->\n"
+    )
+
+    def test_stale_block_regenerated(self):
+        stale_doc = self._TEMPLATE.format(body="old stale text\n")
+        updated, stale = sync_text(stale_doc)
+        assert stale == ["repro simulate"]
+        assert "old stale text" not in updated
+        assert "usage: repro simulate" in updated
+        # regenerating the regenerated text is a fixpoint
+        assert sync_text(updated) == (updated, [])
+
+    def test_markerless_file_rejected(self):
+        with pytest.raises(DocsSyncError, match="no .* markers"):
+            sync_text("# a doc with no generated blocks\n")
+
+
+class TestCommittedDocs:
+    def test_committed_blocks_are_in_sync(self):
+        """CI gate: docs/CLI.md must match the current parsers."""
+        for name in DEFAULT_FILES:
+            assert sync_file(REPO_ROOT / name, write=False) == []
+
+    def test_main_check_and_write_roundtrip(self, tmp_path):
+        doc = tmp_path / "cli.md"
+        doc.write_text(TestSyncText._TEMPLATE.format(body="stale\n"))
+        assert main(["--check", os.fspath(doc)]) == 1
+        assert main(["--write", os.fspath(doc)]) == 0
+        assert main(["--check", os.fspath(doc)]) == 0
+        assert "usage: repro simulate" in doc.read_text()
+
+    def test_main_missing_file(self, tmp_path):
+        assert main(["--check", os.fspath(tmp_path / "nope.md")]) == 2
