@@ -118,10 +118,143 @@ def convergence_summary(
     return out
 
 
+#: per-process fixture caches for the performance pseudo-engines:
+#: datasets and trained models are *inputs* to the measured stage, so
+#: they are built once (during the first warmup run) and reused across
+#: repeats — keyed so distinct cases never share state
+_GNN_FIXTURES: dict[tuple[str, int, int], tuple[Any, Any]] = {}
+_GNN_MODELS: dict[tuple[str, int, int, int], Any] = {}
+
+#: trimmed conventional seed-placement budget for the GNN fixtures
+_FIXTURE_GP = {"max_iters": 150, "min_iters": 30, "bins": 16}
+
+
+def _gnn_fixture(
+    circuit_name: str, seed: int, samples: int,
+) -> tuple[Any, Any]:
+    """Cached ``(seed_placement, dataset)`` for one gnn bench case."""
+    from ..gnn import generate_dataset
+
+    key = (circuit_name, seed, samples)
+    if key not in _GNN_FIXTURES:
+        circuit = make(circuit_name)
+        seed_placement = place(
+            circuit, "eplace-a",
+            gp_params=EPlaceParams(seed=seed, **_FIXTURE_GP),
+            dp_params=DetailedParams(iterate_rounds=1,
+                                     refine_rounds=0),
+        ).placement
+        dataset = generate_dataset(
+            seed_placement, samples=samples, seed=seed)
+        _GNN_FIXTURES[key] = (seed_placement, dataset)
+    return _GNN_FIXTURES[key]
+
+
+def _gnn_model(
+    circuit_name: str, seed: int, samples: int, epochs: int,
+) -> Any:
+    """Cached trained :class:`PerformanceModel` for ``eplace-ap``.
+
+    The fixture always trains with the retained ``loop`` kernel so the
+    model weights are identical no matter which inference kernel the
+    suite then measures — before/after evidence artifacts therefore
+    differ only in the code under test, never in the model.
+    """
+    from ..gnn import PerformanceModel
+
+    key = (circuit_name, seed, samples, epochs)
+    if key not in _GNN_MODELS:
+        seed_placement, dataset = _gnn_fixture(
+            circuit_name, seed, samples)
+        model = PerformanceModel(seed_placement.circuit, seed=seed)
+        model.train(dataset, epochs=epochs, seed=seed, kernel="loop")
+        # an unvalidated model has trust 0 and the flow would skip the
+        # perf-driven machinery; pin full trust so the benchmark
+        # exercises the whole gradient + refine path deterministically
+        model.validation_corr = -0.9
+        _GNN_MODELS[key] = model
+    return _GNN_MODELS[key]
+
+
+def _execute_gnn_train(
+    case: CaseSpec, overrides: dict[str, Any],
+) -> tuple[PlacerResult, Trace]:
+    """Time one ``PerformanceModel.train`` run on a cached dataset.
+
+    The returned result wraps the (training-independent) seed
+    placement, so quality metrics are deterministic and identical
+    across artifacts — only ``runtime_s`` carries signal.
+    """
+    from ..gnn import PerformanceModel
+    from ..obs.trace import Stopwatch
+
+    opts = dict(overrides)
+    samples = int(opts.pop("samples", 160))
+    epochs = int(opts.pop("epochs", 20))
+    kernel = str(opts.pop("kernel", "batched"))
+    if opts:
+        raise ValueError(
+            f"unknown gnn-train overrides: {sorted(opts)}")
+    seed_placement, dataset = _gnn_fixture(
+        case.circuit, case.seed, samples)
+    with tracing() as tracer:
+        clock = Stopwatch()
+        model = PerformanceModel(seed_placement.circuit,
+                                 seed=case.seed)
+        report = model.train(dataset, epochs=epochs, seed=case.seed,
+                             kernel=kernel)
+        runtime = clock.elapsed()
+    result = PlacerResult(
+        placement=seed_placement,
+        runtime_s=runtime,
+        method="gnn-train",
+        stats={"final_loss": report.final_loss,
+               "train_accuracy": report.train_accuracy,
+               "kernel": kernel},
+        trace=tracer.to_trace(),
+    )
+    return result, result.trace
+
+
+def _execute_eplace_ap(
+    case: CaseSpec, overrides: dict[str, Any],
+) -> tuple[PlacerResult, Trace]:
+    """Time one full ePlace-AP flow with a cached trained model."""
+    from ..perf_driven import place_eplace_ap
+
+    opts = dict(overrides)
+    samples = int(opts.pop("samples", 120))
+    epochs = int(opts.pop("epochs", 12))
+    kernel = str(opts.pop("kernel", "batched"))
+    alpha = float(opts.pop("alpha", 1.0))
+    gp = dict(opts.pop("gp", {}))
+    gp["seed"] = case.seed
+    dp = opts.pop("dp", None)
+    if opts:
+        raise ValueError(
+            f"unknown eplace-ap overrides: {sorted(opts)}")
+    model = _gnn_model(case.circuit, case.seed, samples, epochs)
+    model.inference_kernel = kernel
+    kwargs: dict[str, Any] = {
+        "gp_params": EPlaceParams(**gp), "alpha": alpha,
+    }
+    if dp is not None:
+        kwargs["dp_params"] = DetailedParams(**dp)
+    circuit = make(case.circuit)
+    with tracing() as tracer:
+        result = place_eplace_ap(circuit, model, **kwargs)
+    trace = result.trace if result.trace else tracer.to_trace()
+    return result, trace
+
+
 def _execute(
     case: CaseSpec, overrides: dict[str, Any],
 ) -> tuple[PlacerResult, Trace]:
     """One traced engine execution of ``case`` on a fresh circuit."""
+    if case.engine == "gnn-train":
+        return _execute_gnn_train(case, overrides)
+    if case.engine == "eplace-ap":
+        return _execute_eplace_ap(case, overrides)
     circuit = make(case.circuit)
     kwargs = build_kwargs(case.engine, case.seed, overrides)
     with tracing() as tracer:

@@ -13,6 +13,9 @@ Built-in suites:
   nightly suite and the committed-baseline target.
 * ``quick`` — the three conventional engines on three mid-size
   circuits, still with reduced budgets.
+* ``gnnsmoke`` — the performance layer: GNN model training
+  (``gnn-train``) and one full ePlace-AP placement (``eplace-ap``) on
+  two small circuits; gates the batched-kernel hot paths.
 * ``paper`` — all three conventional engines × all ten testcases ×
   three seeds at full budgets (Table III scale; not for CI).
 
@@ -32,6 +35,16 @@ from typing import Any, Callable
 
 from ..api import METHODS
 from ..circuits import PAPER_TESTCASES
+
+#: engines a suite may reference: the three placement methods plus two
+#: performance-layer pseudo-engines — ``gnn-train`` times one
+#: ``PerformanceModel.train`` run on a per-process cached dataset, and
+#: ``eplace-ap`` times the full performance-driven ePlace-AP flow with
+#: a per-process cached trained model (so the measurement isolates
+#: placement, not model training)
+BENCH_ENGINES: tuple[str, ...] = tuple(METHODS) + (
+    "gnn-train", "eplace-ap",
+)
 
 
 class SuiteError(ValueError):
@@ -72,11 +85,13 @@ class SuiteSpec:
     params: dict[str, dict[str, Any]] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        unknown_engines = [e for e in self.engines if e not in METHODS]
+        unknown_engines = [
+            e for e in self.engines if e not in BENCH_ENGINES
+        ]
         if unknown_engines:
             raise SuiteError(
                 f"suite {self.name!r}: unknown engines "
-                f"{unknown_engines}; choose from {list(METHODS)}"
+                f"{unknown_engines}; choose from {list(BENCH_ENGINES)}"
             )
         unknown_circuits = [
             c for c in self.circuits if c not in PAPER_TESTCASES
@@ -160,6 +175,24 @@ def _quick() -> SuiteSpec:
     )
 
 
+def _gnnsmoke() -> SuiteSpec:
+    return SuiteSpec(
+        name="gnnsmoke",
+        engines=["gnn-train", "eplace-ap"],
+        circuits=["Adder", "CC-OTA"],
+        seeds=[1],
+        repeats=2,
+        warmup=1,
+        params={
+            "gnn-train": {"samples": 160, "epochs": 20},
+            "eplace-ap": {
+                "samples": 120, "epochs": 12, "alpha": 1.0,
+                "gp": {"max_iters": 120, "min_iters": 20, "bins": 16},
+            },
+        },
+    )
+
+
 def _paper() -> SuiteSpec:
     return SuiteSpec(
         name="paper",
@@ -175,6 +208,7 @@ def _paper() -> SuiteSpec:
 BUILTIN_SUITES: dict[str, Callable[[], SuiteSpec]] = {
     "smoke": _smoke,
     "quick": _quick,
+    "gnnsmoke": _gnnsmoke,
     "paper": _paper,
 }
 

@@ -179,14 +179,15 @@ def _cmd_table(args) -> int:
         "table3": (exp.run_table3, exp.format_table3),
         "table4": (exp.run_table4, exp.format_table4),
         "fig5": (exp.run_fig5, exp.format_fig5),
+        "table5": (exp.run_table5, exp.format_table5),
+        "table7": (exp.run_table7, exp.format_table7),
     }
     if args.name not in drivers:
         _echo(f"unknown experiment {args.name!r}; choose from "
-              f"{sorted(drivers)} (performance tables need trained "
-              "models; use the benchmark suite)", err=True)
+              f"{sorted(drivers)}", err=True)
         return 2
     run, fmt = drivers[args.name]
-    if args.name == "table3":
+    if args.name in ("table3", "table5", "table7"):
         rows = run(quick=args.quick, jobs=args.jobs)
     else:
         rows = run(quick=args.quick)
@@ -255,16 +256,16 @@ def build_parser() -> argparse.ArgumentParser:
                              help="regenerate a paper table/figure")
     p_table.add_argument(
         "name",
-        help="experiment driver: table1, fig2, table3, table4 or fig5 "
-             "(performance tables need trained models; use the "
-             "benchmark suite)",
+        help="experiment driver: table1, fig2, table3, table4, fig5, "
+             "table5 or table7 (table5/table7 train the per-design "
+             "GNN models first — budget minutes, or use --quick)",
     )
     p_table.add_argument("--quick", action="store_true",
                          help="reduced budgets (same as REPRO_QUICK=1)")
     p_table.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes for per-circuit fan-out "
-             "(table3 only; 0 = all cores)",
+             "(table3/table5/table7; 0 = all cores)",
     )
     return parser
 

@@ -8,11 +8,15 @@ perf-driven methods) and Fig. 6 (FOM-area trade-off sweep).
 from __future__ import annotations
 
 from dataclasses import replace
+from typing import Sequence
 
 from ..annealing import anneal_place
 from ..api import place_eplace_a, place_xu_ispd19
 from ..circuits import PAPER_TESTCASES, make
 from ..gnn import PerformanceModel
+from ..obs import trace
+from ..obs.trace import Trace, tracing
+from ..parallel import parallel_map
 from ..perf_driven import (
     RefineParams,
     place_eplace_ap,
@@ -21,16 +25,20 @@ from ..perf_driven import (
     train_model_for,
 )
 from ..simulate import fom, simulate, spec_of
-from .common import Budgets, format_table
+from .common import Budgets, format_table, quick_mode_default
 
 
-def train_models(
-    circuits=PAPER_TESTCASES, quick: bool | None = None,
-) -> dict[str, PerformanceModel]:
-    """One GNN performance model per design (shared by all methods)."""
-    budgets = Budgets.select(quick)
-    models = {}
-    for name in circuits:
+def _train_worker(
+    payload: tuple[str, Budgets, bool],
+) -> tuple[str, PerformanceModel, "Trace | None"]:
+    """Train one circuit's model (module-level for fork workers).
+
+    Training is fully seeded (dataset streams, member init, epoch
+    permutations), so the model is identical no matter which process
+    runs it; the worker's trace rides back for the parent to absorb.
+    """
+    name, budgets, traced = payload
+    with tracing(enabled=traced) as tracer:
         model, _ = train_model_for(
             make(name),
             samples=budgets.model_samples,
@@ -38,23 +46,42 @@ def train_models(
             sa_sweep_runs=budgets.model_sweep_runs,
             adversarial_rounds=budgets.model_adversarial_rounds,
         )
-        models[name] = model
-    return models
+    return name, model, tracer.to_trace() if traced else None
 
 
-def run_table5(
-    models: dict[str, PerformanceModel] | None = None,
+def train_models(
+    circuits: Sequence[str] = PAPER_TESTCASES,
     quick: bool | None = None,
-    circuits=PAPER_TESTCASES,
-) -> list[dict]:
-    """Table V: FOM of 3 methods x {Conv, Perf} on every design."""
-    budgets = Budgets.select(quick)
-    if models is None:
-        models = train_models(circuits, quick)
-    rows = []
-    for name in circuits:
-        model = models[name]
-        row = {"design": name}
+    jobs: int = 1,
+) -> dict[str, PerformanceModel]:
+    """One GNN performance model per design (shared by all methods).
+
+    ``jobs > 1`` shards circuits over worker processes; every training
+    run is seeded end to end, so the returned models are bit-identical
+    to a sequential run and worker traces merge into the caller's
+    tracer in circuit order.
+    """
+    effective_quick = quick_mode_default() if quick is None else quick
+    budgets = Budgets.select(effective_quick)
+    tracer = trace.current()
+    results = parallel_map(
+        _train_worker,
+        [(name, budgets, tracer.enabled) for name in circuits],
+        jobs=jobs,
+    )
+    for _, _, worker_trace in results:
+        if worker_trace is not None:
+            tracer.absorb(worker_trace)
+    return {name: model for name, model, _ in results}
+
+
+def _table5_row(
+    payload: tuple[str, PerformanceModel, Budgets, bool],
+) -> tuple[dict, "Trace | None"]:
+    """One Table V row: 3 methods x {conv, perf} on one circuit."""
+    name, model, budgets, traced = payload
+    with tracing(enabled=traced) as tracer:
+        row: dict = {"design": name}
         row["sa_conv"] = fom(anneal_place(
             make(name), budgets.sa_params(
                 iterations=budgets.perf_sa_iterations)).placement)
@@ -73,8 +100,36 @@ def run_table5(
         row["ep_perf"] = fom(place_eplace_ap(
             make(name), model, gp_params=budgets.gp_params,
             alpha=2.0).placement)
-        rows.append(row)
-    return rows
+    return row, tracer.to_trace() if traced else None
+
+
+def run_table5(
+    models: dict[str, PerformanceModel] | None = None,
+    quick: bool | None = None,
+    circuits: Sequence[str] = PAPER_TESTCASES,
+    jobs: int = 1,
+) -> list[dict]:
+    """Table V: FOM of 3 methods x {Conv, Perf} on every design.
+
+    ``jobs > 1`` distributes circuits over worker processes (training,
+    when needed, fans out first); every engine run is seeded, so rows
+    are identical at any job count.
+    """
+    effective_quick = quick_mode_default() if quick is None else quick
+    budgets = Budgets.select(effective_quick)
+    if models is None:
+        models = train_models(circuits, effective_quick, jobs=jobs)
+    tracer = trace.current()
+    results = parallel_map(
+        _table5_row,
+        [(name, models[name], budgets, tracer.enabled)
+         for name in circuits],
+        jobs=jobs,
+    )
+    for _, worker_trace in results:
+        if worker_trace is not None:
+            tracer.absorb(worker_trace)
+    return [row for row, _ in results]
 
 
 def format_table5(rows: list[dict]) -> str:
@@ -140,18 +195,12 @@ def format_table6(data: dict) -> str:
     )
 
 
-def run_table7(
-    models: dict[str, PerformanceModel] | None = None,
-    quick: bool | None = None,
-    circuits=PAPER_TESTCASES,
-) -> list[dict]:
-    """Table VII: area/HPWL/runtime of the performance-driven methods."""
-    budgets = Budgets.select(quick)
-    if models is None:
-        models = train_models(circuits, quick)
-    rows = []
-    for name in circuits:
-        model = models[name]
+def _table7_row(
+    payload: tuple[str, PerformanceModel, Budgets, bool],
+) -> tuple[dict, "Trace | None"]:
+    """One Table VII row: the three perf-driven flows on one circuit."""
+    name, model, budgets, traced = payload
+    with tracing(enabled=traced) as tracer:
         sa = place_perf_sa(
             make(name), model,
             budgets.sa_params(iterations=budgets.perf_sa_iterations,
@@ -160,14 +209,43 @@ def run_table7(
                            gp_params=budgets.xu_params, alpha=2.0)
         ap = place_eplace_ap(make(name), model,
                              gp_params=budgets.gp_params, alpha=2.0)
-        row = {"design": name}
+        row: dict = {"design": name}
         for key, result in (("sa", sa), ("xu", xu), ("ap", ap)):
             metrics = result.metrics()
             row[f"area_{key}"] = metrics["area"]
             row[f"hpwl_{key}"] = metrics["hpwl"]
             row[f"runtime_{key}"] = result.runtime_s
-        rows.append(row)
-    return rows
+    return row, tracer.to_trace() if traced else None
+
+
+def run_table7(
+    models: dict[str, PerformanceModel] | None = None,
+    quick: bool | None = None,
+    circuits: Sequence[str] = PAPER_TESTCASES,
+    jobs: int = 1,
+) -> list[dict]:
+    """Table VII: area/HPWL/runtime of the performance-driven methods.
+
+    ``jobs > 1`` shards circuits over workers; metrics are identical
+    at any job count (runtimes are each flow's own stopwatch, so CPU
+    contention can inflate them — use ``jobs=1`` for the paper's
+    runtime columns).
+    """
+    effective_quick = quick_mode_default() if quick is None else quick
+    budgets = Budgets.select(effective_quick)
+    if models is None:
+        models = train_models(circuits, effective_quick, jobs=jobs)
+    tracer = trace.current()
+    results = parallel_map(
+        _table7_row,
+        [(name, models[name], budgets, tracer.enabled)
+         for name in circuits],
+        jobs=jobs,
+    )
+    for _, worker_trace in results:
+        if worker_trace is not None:
+            tracer.absorb(worker_trace)
+    return [row for row, _ in results]
 
 
 def format_table7(rows: list[dict]) -> str:

@@ -19,6 +19,7 @@ import numpy as np
 
 from ..legalize.presym import presymmetrize
 from ..netlist import Circuit
+from ..parallel import parallel_map
 from ..placement import Placement
 from ..simulate import fom
 
@@ -120,12 +121,42 @@ def _random_packing(
     return Placement(circuit, x, y, fx, fy)
 
 
+def _sweep_run(
+    payload: tuple[Circuit, int, int, int, int],
+) -> list[Placement]:
+    """One seed-sharded SA sweep run (module-level for fork workers).
+
+    ``payload`` is ``(circuit, base_seed, k, iterations,
+    perturbations)``; the run owns the RNG stream
+    ``default_rng((base_seed, k))``, so the returned placements do not
+    depend on which process (or how many) executed the run.
+    """
+    from ..annealing import SAParams, anneal_place
+
+    circuit, base_seed, k, iterations, perturbations = payload
+    rng = np.random.default_rng((base_seed, k))
+    side = float(np.sqrt(circuit.total_device_area() / 0.5))
+    scale = side / 12.0
+    params = SAParams(
+        iterations=iterations,
+        seed=int(rng.integers(0, 2 ** 31 - 1)),
+        area_weight=float(rng.uniform(0.3, 2.0)),
+    )
+    final = anneal_place(circuit, params).placement
+    out = [final]
+    for _ in range(perturbations):
+        out.append(_perturb(
+            final, rng.uniform(0.1, 0.8) * scale, rng))
+    return out
+
+
 def sa_parameter_sweep_samples(
     circuit: Circuit,
     rng: np.random.Generator,
     runs: int = 24,
     iterations: int = 600,
     perturbations: int = 6,
+    jobs: int = 1,
 ) -> list[Placement]:
     """Placements from short SA runs with randomised parameters.
 
@@ -135,32 +166,32 @@ def sa_parameter_sweep_samples(
     distribution is what keeps the model honest exactly where the
     performance-driven search will later operate; perturbed copies of
     each run pad the local neighbourhood.
-    """
-    from ..annealing import SAParams, anneal_place
 
-    side = float(np.sqrt(circuit.total_device_area() / 0.5))
-    scale = side / 12.0
-    out: list[Placement] = []
-    for k in range(runs):
-        params = SAParams(
-            iterations=iterations,
-            seed=int(rng.integers(0, 2 ** 31 - 1)),
-            area_weight=float(rng.uniform(0.3, 2.0)),
-        )
-        final = anneal_place(circuit, params).placement
-        out.append(final)
-        for _ in range(perturbations):
-            out.append(_perturb(
-                final, rng.uniform(0.1, 0.8) * scale, rng))
-    return out
+    One draw from ``rng`` seeds all runs; each run then owns the
+    stream ``default_rng((base_seed, k))``, so fanning the runs across
+    ``jobs`` processes is bit-identical to the sequential sweep.
+    """
+    base_seed = int(rng.integers(0, 2 ** 31 - 1))
+    chunks = parallel_map(
+        _sweep_run,
+        [(circuit, base_seed, k, iterations, perturbations)
+         for k in range(runs)],
+        jobs=jobs,
+    )
+    return [p for chunk in chunks for p in chunk]
 
 
 def augment_dataset(
     dataset: PlacementDataset,
     placements: list[Placement],
     label_temperature: float = 0.025,
+    jobs: int = 1,
 ) -> PlacementDataset:
-    """Extend a dataset with new placements, labelled at its threshold."""
+    """Extend a dataset with new placements, labelled at its threshold.
+
+    FOM labelling fans out over ``jobs`` processes (one placement per
+    task, input-ordered), identical to the sequential labels.
+    """
     if not placements:
         return dataset
     positions = np.stack([
@@ -169,7 +200,7 @@ def augment_dataset(
     flips = np.stack([
         np.column_stack([p.flip_x, p.flip_y]) for p in placements
     ])
-    foms = np.array([fom(p) for p in placements])
+    foms = np.array(parallel_map(fom, placements, jobs=jobs))
     soft = 1.0 / (1.0 + np.exp(
         -(dataset.threshold - foms) / label_temperature))
     hard = (foms < dataset.threshold).astype(int)
@@ -228,6 +259,78 @@ def _scale_critical(
     return presymmetrize(moved)
 
 
+def _sample_placement(
+    seed_placement: Placement,
+    k: int,
+    seed: int,
+    side: float,
+    scale: float,
+    crit_mask: np.ndarray,
+    can_scale: bool,
+) -> Placement:
+    """Draw sample ``k`` of a dataset from its own RNG stream.
+
+    The stream ``default_rng((seed, k))`` is a function of the sample
+    index alone, which is what makes the fan-out seed-sharded: any
+    partition of the index range over any number of workers produces
+    the identical dataset.
+    """
+    rng = np.random.default_rng((seed, k))
+    circuit = seed_placement.circuit
+    regime = k % 8
+    if regime in (0, 1):
+        return _perturb(
+            seed_placement, rng.uniform(0.2, 1.2) * scale, rng)
+    if regime == 2 and can_scale:
+        return _scale_critical(
+            seed_placement, crit_mask,
+            factor=rng.uniform(0.3, 0.9),
+            sigma=rng.uniform(0.1, 0.6) * scale, rng=rng)
+    if regime == 3 and can_scale:
+        return _scale_critical(
+            seed_placement, crit_mask,
+            factor=rng.uniform(1.2, 2.5),
+            sigma=rng.uniform(0.1, 0.6) * scale, rng=rng)
+    if regime in (4, 5, 6):
+        return _random_packing(circuit, rng)
+    if regime == 7 and k % 2:
+        return _perturb(
+            seed_placement, rng.uniform(1.5, 4.0) * scale, rng,
+            symmetric=bool(rng.random() < 0.5))
+    return _random_layout(circuit, side, rng)
+
+
+def _generate_chunk(
+    payload: tuple[Placement, int, int, int],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Samples ``[lo, hi)`` of a dataset (module-level fork worker).
+
+    ``payload`` is ``(seed_placement, seed, lo, hi)``.  Returns the
+    chunk's ``(positions, flips, foms)`` arrays; because every sample
+    owns its RNG stream, the concatenation over chunks equals the
+    sequential dataset regardless of the chunking.
+    """
+    seed_placement, seed, lo, hi = payload
+    circuit = seed_placement.circuit
+    side = float(np.sqrt(circuit.total_device_area() / 0.5))
+    scale = side / 12.0
+    crit_mask = _critical_device_mask(circuit)
+    can_scale = bool(crit_mask.any()) and not bool(crit_mask.all())
+    placements = [
+        _sample_placement(seed_placement, k, seed, side, scale,
+                          crit_mask, can_scale)
+        for k in range(lo, hi)
+    ]
+    positions = np.stack([
+        np.column_stack([p.x, p.y]) for p in placements
+    ])
+    flips = np.stack([
+        np.column_stack([p.flip_x, p.flip_y]) for p in placements
+    ])
+    foms = np.array([fom(p) for p in placements])
+    return positions, flips, foms
+
+
 def generate_dataset(
     seed_placement: Placement,
     samples: int = 1000,
@@ -235,6 +338,7 @@ def generate_dataset(
     threshold_quantile: float = 0.65,
     label_temperature: float = 0.025,
     seed: int = 0,
+    jobs: int = 1,
 ) -> PlacementDataset:
     """Build a labelled dataset around one legal seed placement.
 
@@ -252,46 +356,31 @@ def generate_dataset(
     sampled FOMs: a demanding bar (above the median) gives the
     classifier signal *inside* the good region instead of merely
     separating good from garbage.
+
+    Every sample draws from its own stream
+    ``default_rng((seed, k))``, so generation (and FOM labelling)
+    shards over ``jobs`` worker processes bit-identically to the
+    sequential path.
     """
+    if samples < 1:
+        raise ValueError("samples must be >= 1")
+    # ~4 chunks per worker amortise fork/pickle overhead while keeping
+    # the pool busy if chunk runtimes vary; chunking never affects the
+    # result because each sample owns its RNG stream
+    from ..parallel import normalize_jobs
+
+    n_chunks = min(samples, max(1, normalize_jobs(jobs) * 4))
+    bounds = np.linspace(0, samples, n_chunks + 1).astype(int)
+    chunks = parallel_map(
+        _generate_chunk,
+        [(seed_placement, seed, int(lo), int(hi))
+         for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo],
+        jobs=jobs,
+    )
+    positions = np.concatenate([c[0] for c in chunks])
+    flips = np.concatenate([c[1] for c in chunks])
+    foms = np.concatenate([c[2] for c in chunks])
     circuit = seed_placement.circuit
-    rng = np.random.default_rng(seed)
-    side = float(np.sqrt(circuit.total_device_area() / 0.5))
-    scale = side / 12.0
-    crit_mask = _critical_device_mask(circuit)
-    can_scale = bool(crit_mask.any()) and not bool(crit_mask.all())
-
-    placements: list[Placement] = []
-    for k in range(samples):
-        regime = k % 8
-        if regime in (0, 1):
-            placements.append(_perturb(
-                seed_placement, rng.uniform(0.2, 1.2) * scale, rng))
-        elif regime == 2 and can_scale:
-            placements.append(_scale_critical(
-                seed_placement, crit_mask,
-                factor=rng.uniform(0.3, 0.9),
-                sigma=rng.uniform(0.1, 0.6) * scale, rng=rng))
-        elif regime == 3 and can_scale:
-            placements.append(_scale_critical(
-                seed_placement, crit_mask,
-                factor=rng.uniform(1.2, 2.5),
-                sigma=rng.uniform(0.1, 0.6) * scale, rng=rng))
-        elif regime in (4, 5, 6):
-            placements.append(_random_packing(circuit, rng))
-        elif regime == 7 and k % 2:
-            placements.append(_perturb(
-                seed_placement, rng.uniform(1.5, 4.0) * scale, rng,
-                symmetric=bool(rng.random() < 0.5)))
-        else:
-            placements.append(_random_layout(circuit, side, rng))
-
-    positions = np.stack([
-        np.column_stack([p.x, p.y]) for p in placements
-    ])
-    flips = np.stack([
-        np.column_stack([p.flip_x, p.flip_y]) for p in placements
-    ])
-    foms = np.array([fom(p) for p in placements])
     if threshold is None:
         threshold = float(np.quantile(foms, threshold_quantile))
     labels_hard = (foms < threshold).astype(int)

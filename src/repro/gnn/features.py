@@ -141,7 +141,8 @@ class FeatureEncoder:
         return (adjacency * (ax + ay)).sum(axis=1) / self.scale
 
     def _pin_coords(
-        self, arrays: NetArrays, x, y, sign_x, sign_y
+        self, arrays: NetArrays, x: np.ndarray, y: np.ndarray,
+        sign_x: np.ndarray, sign_y: np.ndarray,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Pin coordinates honouring per-device flip signs."""
         dev = arrays.pin_dev
@@ -200,7 +201,9 @@ class FeatureEncoder:
             pin_gy * m_net[arrays.pin_net], n) / self.scale
         return gx, gy
 
-    def _signs(self, n, flip_x, flip_y):
+    def _signs(
+        self, n: int, flip_x: np.ndarray | None, flip_y: np.ndarray | None
+    ) -> tuple[np.ndarray, np.ndarray]:
         sign_x = np.where(flip_x, -1.0, 1.0) if flip_x is not None \
             else np.ones(n)
         sign_y = np.where(flip_y, -1.0, 1.0) if flip_y is not None \

@@ -55,6 +55,7 @@ class GNNModel:
 
     # ------------------------------------------------------------------
     def parameters(self) -> dict[str, np.ndarray]:
+        """Current parameter arrays keyed by name (``b3`` as (1,))."""
         return {
             "w1": self.w1, "b1": self.b1,
             "w2": self.w2, "b2": self.b2,
@@ -62,6 +63,7 @@ class GNNModel:
         }
 
     def set_parameters(self, params: dict[str, np.ndarray]) -> None:
+        """Replace all parameters with copies of ``params``."""
         self.w1 = params["w1"].copy()
         self.b1 = params["b1"].copy()
         self.w2 = params["w2"].copy()
@@ -73,10 +75,16 @@ class GNNModel:
     def forward(
         self, a_hat: np.ndarray, x: np.ndarray
     ) -> ForwardCache:
-        """Forward pass; returns the full activation cache."""
-        z1 = a_hat @ x @ self.w1 + self.b1
+        """Forward pass; returns the full activation cache.
+
+        Both GCN layers project features first — ``a_hat @ (x @ w)``
+        rather than numpy's left-to-right ``(a_hat @ x) @ w`` — which
+        is the cheaper association whenever the device count exceeds
+        the layer width, and matches :mod:`repro.gnn.batched`.
+        """
+        z1 = a_hat @ (x @ self.w1) + self.b1
         h1 = _relu(z1)
-        z2 = a_hat @ h1 @ self.w2 + self.b2
+        z2 = a_hat @ (h1 @ self.w2) + self.b2
         h2 = _relu(z2)
         pooled = h2.mean(axis=0)
         logit = float(pooled @ self.w3 + self.b3)

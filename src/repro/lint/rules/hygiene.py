@@ -43,10 +43,12 @@ class ApiHygieneRule(Rule):
     id = "RPR301"
     name = "api-hygiene"
     summary = (
-        "public functions and methods in repro.api and repro.placement "
-        "need full type hints and a docstring"
+        "public functions and methods in repro.api, repro.placement, "
+        "repro.gnn and repro.perf_driven need full type hints and a "
+        "docstring"
     )
-    scopes = ("repro/api.py", "repro/placement/")
+    scopes = ("repro/api.py", "repro/placement/", "repro/gnn/",
+              "repro/perf_driven/")
 
     def _check_function(
         self,

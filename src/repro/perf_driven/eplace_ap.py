@@ -63,6 +63,7 @@ class EPlaceAPGlobalPlacer(EPlaceGlobalPlacer):
         return value, gx, gy
 
     def place(self) -> PlacerResult:
+        """Run global placement with the performance term blended in."""
         result = super().place()
         result.method = f"eplace-ap-gp[{self.params.symmetry_mode}]"
         result.stats["alpha_scaled"] = self._alpha_scaled

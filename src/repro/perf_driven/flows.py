@@ -15,6 +15,8 @@ likewise trains one model per design and uses it across methods.
 
 from __future__ import annotations
 
+from typing import Any
+
 from ..annealing import SAParams, SimulatedAnnealingPlacer, anneal_place
 from ..api import place_eplace_a
 from ..eplace import EPlaceParams, eplace_global
@@ -38,18 +40,20 @@ def train_model_for(
     samples: int = 600,
     epochs: int = 60,
     seed: int = 0,
-    **train_kwargs,
+    jobs: int = 1,
+    **train_kwargs: Any,
 ) -> tuple[PerformanceModel, TrainReport]:
     """Train the per-design GNN from a conventional seed placement.
 
-    ``train_kwargs`` forward to
+    ``jobs`` fans the dataset-generation stages across processes
+    (bit-identical to sequential); ``train_kwargs`` forward to
     :func:`repro.gnn.train_performance_model` (e.g. ``sa_sweep_runs``,
-    ``adversarial_rounds``, ``hidden``).
+    ``adversarial_rounds``, ``hidden``, ``kernel``).
     """
     seed_result = place_eplace_a(circuit)
     return train_performance_model(
         seed_result.placement, samples=samples, epochs=epochs,
-        seed=seed, **train_kwargs
+        seed=seed, jobs=jobs, **train_kwargs
     )
 
 
@@ -203,7 +207,7 @@ def place_performance_driven(
     circuit: Circuit,
     perf_model: PerformanceModel,
     method: str = "eplace-ap",
-    **kwargs,
+    **kwargs: Any,
 ) -> PlacerResult:
     """Dispatch one of the three performance-driven flows."""
     if method == "eplace-ap":

@@ -9,6 +9,8 @@ placement stays unchanged.
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
 from ..gnn import PerformanceModel
@@ -47,7 +49,9 @@ class XuPerfGlobalPlacer(XuGlobalPlacer):
             self.alpha * wl_norm / max(phi_norm, 1e-12)
         )
 
-    def _objective(self, lam: float, tau: float):
+    def _objective(
+        self, lam: float, tau: float
+    ) -> Callable[[np.ndarray], tuple[float, np.ndarray]]:
         base = super()._objective(lam, tau)
         n = self.circuit.num_devices
 
@@ -61,6 +65,7 @@ class XuPerfGlobalPlacer(XuGlobalPlacer):
         return fun
 
     def place(self) -> PlacerResult:
+        """Run global placement with the performance term blended in."""
         result = super().place()
         result.method = "xu-perf-gp"
         result.stats["alpha_scaled"] = self._alpha_scaled

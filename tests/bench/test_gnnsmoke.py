@@ -1,0 +1,73 @@
+"""gnnsmoke suite: spec validity and the two GNN bench engines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import SuiteSpec, get_suite, run_suite, runs_by_case
+from repro.bench.spec import BENCH_ENGINES, SuiteError
+
+
+def test_bench_engines_extend_placement_methods():
+    assert "gnn-train" in BENCH_ENGINES
+    assert "eplace-ap" in BENCH_ENGINES
+    suite = SuiteSpec(name="t", engines=["gnn-train", "eplace-ap"],
+                      circuits=["Adder"])
+    assert [c.key for c in suite.cases()] == [
+        "gnn-train:Adder:1", "eplace-ap:Adder:1"]
+    with pytest.raises(SuiteError, match="unknown engines"):
+        SuiteSpec(name="t", engines=["gnn-infer"], circuits=["Adder"])
+
+
+def test_gnnsmoke_builtin_shape():
+    suite = get_suite("gnnsmoke")
+    assert set(suite.engines) == {"gnn-train", "eplace-ap"}
+    assert len(suite.circuits) == 2
+    assert "samples" in suite.params["gnn-train"]
+
+
+@pytest.fixture(scope="module")
+def gnn_artifact():
+    """One tiny run of both GNN engines (shared across tests)."""
+    tiny = SuiteSpec(
+        name="gnn-unit",
+        engines=["gnn-train", "eplace-ap"],
+        circuits=["Adder"],
+        seeds=[1],
+        repeats=1,
+        warmup=0,
+        params={
+            "gnn-train": {"samples": 32, "epochs": 3},
+            "eplace-ap": {
+                "samples": 32, "epochs": 3, "alpha": 1.0,
+                "gp": {"max_iters": 40, "min_iters": 10, "bins": 8},
+            },
+        },
+    )
+    return run_suite(tiny)
+
+
+def test_gnn_train_case_records_training_only(gnn_artifact):
+    run = runs_by_case(gnn_artifact)["gnn-train:Adder:1"][0]
+    assert run["runtime_s"] > 0
+    assert run["metrics"]["hpwl"] > 0  # seed placement metrics
+    assert "gnn.train" in run["phases"]
+    # dataset generation happens outside the timed region
+    assert "gnn.dataset" not in run["phases"]
+
+
+def test_eplace_ap_case_places_with_model(gnn_artifact):
+    run = runs_by_case(gnn_artifact)["eplace-ap:Adder:1"][0]
+    assert run["metrics"]["hpwl"] > 0
+    assert run["metrics"]["overlap"] == pytest.approx(0.0, abs=1e-9)
+    assert "eplace.gp" in run["phases"]
+
+
+def test_gnn_engine_rejects_unknown_override():
+    tiny = SuiteSpec(
+        name="bad", engines=["gnn-train"], circuits=["Adder"],
+        repeats=1, warmup=0,
+        params={"gnn-train": {"samples": 8, "epochs": 1, "typo": 1}},
+    )
+    with pytest.raises(Exception, match="typo"):
+        run_suite(tiny)

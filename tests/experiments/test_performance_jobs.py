@@ -1,0 +1,52 @@
+"""Performance-driver fan-out: jobs > 1 must be bit-identical.
+
+Uses a deliberately tiny training budget (monkeypatched into
+``Budgets.select``) so the parallel/sequential comparison stays fast;
+determinism does not depend on the budget sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from repro.experiments import Budgets, train_models
+from repro.experiments.performance import run_table5
+
+
+@pytest.fixture
+def tiny_budgets(monkeypatch):
+    tiny = replace(
+        Budgets.quick(),
+        sa_iterations=400,
+        model_samples=48,
+        model_epochs=4,
+        model_sweep_runs=2,
+        model_adversarial_rounds=0,
+        perf_sa_iterations=400,
+    )
+    monkeypatch.setattr(Budgets, "select",
+                        classmethod(lambda cls, quick=None: tiny))
+    return tiny
+
+
+class TestTrainModelsJobs:
+    def test_parallel_models_bit_identical(self, tiny_budgets):
+        circuits = ("Adder", "CC-OTA")
+        seq = train_models(circuits, quick=True)
+        par = train_models(circuits, quick=True, jobs=4)
+        assert set(seq) == set(par) == set(circuits)
+        for name in circuits:
+            assert seq[name].validation_corr == \
+                par[name].validation_corr
+            for ms, mp in zip(seq[name].members, par[name].members):
+                for k, v in ms.parameters().items():
+                    assert np.array_equal(v, mp.parameters()[k])
+
+    def test_table5_rows_identical_across_jobs(self, tiny_budgets):
+        circuits = ("Adder",)
+        models = train_models(circuits, quick=True)
+        seq = run_table5(models, quick=True, circuits=circuits)
+        par = run_table5(models, quick=True, circuits=circuits, jobs=2)
+        assert seq == par
