@@ -31,7 +31,7 @@ import numpy as np
 
 from ..analytic import NetArrays
 from ..netlist import Axis, Circuit
-from ..obs import memory, metrics, trace
+from ..obs import live, memory, metrics, trace
 from ..obs.log import get_logger
 from ..placement import Placement, PlacerResult
 
@@ -542,15 +542,16 @@ class SimulatedAnnealingPlacer:
                             )
                         if cost < best_cost:
                             best_state, best_cost = state.copy(), cost
-            if tracer.enabled:
-                tracer.record(
-                    "sa.stage", stage,
+            if tracer.enabled or live.active():
+                values = dict(
                     temperature=temperature,
                     cost=cost,
                     best_cost=best_cost,
                     accepted=stage_accepted,
                     evaluated=stage_evaluated,
                 )
+                tracer.record("sa.stage", stage, **values)
+                live.progress("sa.stage", stage, **values)
             if stage_moves == p.moves_per_temp:
                 temperature *= decay
             stage += 1

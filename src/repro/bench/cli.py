@@ -22,10 +22,12 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import shutil
 import sys
 from typing import Sequence
 
 from ..obs import configure_logging
+from ..obs.registry import RunRegistry
 from .artifact import ArtifactError, load_artifact
 from .compare import compare_artifacts, format_comparison
 from .report import render_html, render_markdown
@@ -47,6 +49,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         series_points=args.series_points, jobs=args.jobs,
     )
     _echo(f"artifact : {path}")
+    if args.save_run:
+        writer = RunRegistry().create(
+            "bench", suite.name,
+            config={"suite": args.suite, "repeats": args.repeats,
+                    "warmup": args.warmup, "jobs": args.jobs},
+        )
+        # self-contained run dir: the artifact rides along verbatim
+        shutil.copyfile(path, writer.path / "artifact.json")
+        run_path = writer.finalize()
+        _echo(f"run      : {run_path}")
     return 0
 
 
@@ -67,7 +79,17 @@ def _cmd_compare(args: argparse.Namespace) -> int:
           f"git {head['fingerprint'].get('git_sha') or '?'})")
     _echo(format_comparison(comparison))
     if comparison.ok:
+        if args.update_baseline:
+            # a passing compare promotes HEAD to the new committed
+            # baseline, byte-for-byte (escalation workflow in
+            # docs/PERFORMANCE.md)
+            shutil.copyfile(args.head, args.update_baseline)
+            _echo(f"baseline : {args.update_baseline} updated from "
+                  f"{args.head}")
         return 0
+    if args.update_baseline:
+        _echo(f"baseline : {args.update_baseline} NOT updated "
+              "(regressions found)", err=True)
     if args.warn_only:
         _echo("(warn-only: regressions reported, exiting 0)", err=True)
         return 0
@@ -139,6 +161,11 @@ def build_parser() -> argparse.ArgumentParser:
              "metrics are identical to --jobs 1, but record timing "
              "baselines sequentially to avoid CPU contention",
     )
+    p_run.add_argument(
+        "--save-run", action="store_true",
+        help="also record the artifact in the run registry "
+             "($REPRO_RUNS_DIR or ./runs; inspect with 'repro runs')",
+    )
 
     p_cmp = sub.add_parser(
         "compare",
@@ -169,6 +196,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument(
         "--warn-only", action="store_true",
         help="report regressions but exit 0 (CI soft-launch)",
+    )
+    p_cmp.add_argument(
+        "--update-baseline", metavar="PATH",
+        help="on a passing compare, copy HEAD to PATH as the new "
+             "ready-to-commit baseline (e.g. "
+             "benchmarks/baselines/smoke-ci.json)",
     )
 
     p_rep = sub.add_parser(

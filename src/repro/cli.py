@@ -9,7 +9,11 @@ Commands:
   (``--profile``);
 * ``simulate`` — evaluate a saved (or freshly placed) layout's circuit
   performance and FOM;
-* ``table`` — regenerate one of the paper's tables/figures.
+* ``table`` — regenerate one of the paper's tables/figures;
+* ``runs`` — inspect the persistent run registry
+  (:mod:`repro.obs.registry`): ``list``/``show``/``compare``/``gc``
+  over the run directories that ``place --save-run`` and ``table
+  --save-run`` record.
 
 Global ``-v``/``-vv`` raises the ``repro.*`` logging level (INFO /
 DEBUG) for solver diagnostics.
@@ -20,10 +24,13 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from contextlib import ExitStack
 
 from . import obs
 from .annealing import SAParams
 from .api import METHODS, place, place_multiseed
+from .obs import live
+from .obs.registry import RegistryError
 from .circuits import PAPER_TESTCASES, make
 from .placement import audit_constraints
 from .placement.io import load_placement, save_placement, save_svg
@@ -93,29 +100,58 @@ def _cmd_place(args) -> int:
         kwargs["params"] = SAParams(iterations=args.sa_iterations,
                                     seed=args.seed)
     seeds = _parse_seeds(args.seeds)
-    want_trace = bool(args.trace_out or args.profile)
+    if args.racing and seeds is None:
+        raise SystemExit("--racing requires --seeds")
+    want_trace = bool(args.trace_out or args.profile or args.save_run)
 
     def _run():
         if seeds is None:
             return place(circuit, args.method, **kwargs)
-        results = place_multiseed(
+        racing = obs.RacingParams() if args.racing else None
+        out = place_multiseed(
             circuit, args.method, seeds=seeds, jobs=args.jobs,
-            **kwargs,
+            racing=racing, **kwargs,
         )
+        results = out if racing is None else out.results
         for seed, res in zip(seeds, results):
+            if res is None:
+                _echo(f"seed {seed:4d}: cancelled (racing)")
+                continue
             m = res.metrics()
             _echo(f"seed {seed:4d}: hpwl {m['hpwl']:.2f} "
                   f"area {m['area']:.2f} "
                   f"runtime {m['runtime_s']:.2f}s")
-        return min(results, key=lambda r: r.metrics()["hpwl"])
+        if racing is None:
+            return min(results, key=lambda r: r.metrics()["hpwl"])
+        for kill in out.kills:
+            _echo(f"race     : seed {kill.seed} dominated at "
+                  f"iteration {kill.iteration} ({out.metric} "
+                  f"{kill.value:.4g} vs best {kill.best:.4g}"
+                  f"{'' if kill.landed else ', already finished'})")
+        return out.winner
 
-    if want_trace:
-        with obs.tracing() as tracer:
-            result = _run()
-        if not result.trace:
-            result.trace = tracer.to_trace()
-    else:
+    writer = None
+    tracer = None
+    with ExitStack() as stack:
+        if want_trace:
+            tracer = stack.enter_context(obs.tracing())
+        if args.save_run:
+            writer = obs.RunRegistry().create(
+                "place", f"{circuit.name}:{args.method}",
+                config={
+                    "circuit": circuit.name, "method": args.method,
+                    "seed": args.seed, "seeds": seeds,
+                    "jobs": args.jobs, "racing": bool(args.racing),
+                    "sa_iterations": args.sa_iterations,
+                },
+            )
+            bus = obs.EventBus()
+            bus.subscribe(writer.event_subscriber())
+            stack.enter_context(live.session(bus))
+            stack.enter_context(obs.ResourceSampler(bus))
         result = _run()
+    if tracer is not None and not result.trace:
+        result.trace = tracer.to_trace()
     metrics = result.metrics()
     audit = audit_constraints(result.placement)
     _echo(f"method   : {result.method}")
@@ -154,6 +190,13 @@ def _cmd_place(args) -> int:
     if args.profile:
         _echo()
         _echo(obs.format_profile(result.trace, result.runtime_s))
+    if writer is not None:
+        writer.write_trace(
+            result.trace, method=result.method, circuit=circuit.name,
+            runtime_s=result.runtime_s,
+        )
+        path = writer.finalize(metrics=dict(metrics))
+        _echo(f"run      : {path}")
     return 0
 
 
@@ -187,12 +230,111 @@ def _cmd_table(args) -> int:
               f"{sorted(drivers)}", err=True)
         return 2
     run, fmt = drivers[args.name]
+    writer = None
+    if args.save_run:
+        writer = obs.RunRegistry().create(
+            "table", args.name,
+            config={"name": args.name, "quick": bool(args.quick),
+                    "jobs": args.jobs},
+        )
     if args.name in ("table3", "table5", "table7"):
         rows = run(quick=args.quick, jobs=args.jobs)
     else:
         rows = run(quick=args.quick)
-    _echo(fmt(rows))
+    rendered = fmt(rows)
+    _echo(rendered)
+    if writer is not None:
+        with open(writer.path / "table.txt", "w") as handle:
+            handle.write(rendered + "\n")
+        path = writer.finalize()
+        _echo(f"run      : {path}")
     return 0
+
+
+def _cmd_runs(args) -> int:
+    registry = obs.RunRegistry(args.root)
+    try:
+        return _dispatch_runs(registry, args)
+    except RegistryError as exc:
+        _echo(f"error: {exc}", err=True)
+        return 2
+
+
+def _dispatch_runs(registry, args) -> int:
+    if args.runs_command == "list":
+        runs = registry.list_runs()
+        if not runs:
+            _echo(f"(no runs under {registry.root})")
+            return 0
+        for run in runs:
+            summary = " ".join(
+                f"{key}={value:.5g}"
+                for key, value in sorted(run.metrics.items())
+                if isinstance(value, (int, float))
+            )
+            _echo(f"{run.run_id}  {run.kind:6s} {run.label:20s} "
+                  f"{run.status:9s} {summary}".rstrip())
+        return 0
+    if args.runs_command == "show":
+        run = registry.resolve(args.run)
+        manifest = run.manifest
+        _echo(f"run      : {run.run_id}")
+        _echo(f"kind     : {run.kind}")
+        _echo(f"label    : {run.label}")
+        _echo(f"status   : {run.status}")
+        _echo(f"created  : {manifest.get('created_utc', '?')}")
+        git_sha = (manifest.get("fingerprint") or {}).get("git_sha")
+        if git_sha:
+            _echo(f"git      : {git_sha}")
+        config = manifest.get("config") or {}
+        if config:
+            _echo("config   : "
+                  + json.dumps(config, sort_keys=True, default=str))
+        for key, value in sorted(run.metrics.items()):
+            _echo(f"  {key:20s} {value:12.6g}")
+        conv_path = run.path / "convergence.json"
+        if conv_path.is_file():
+            with open(conv_path) as handle:
+                doc = json.load(handle)
+            for phase, series in sorted(doc.get("phases", {}).items()):
+                _echo(f"phase    : {phase} "
+                      f"({len(series.get('iterations', []))} "
+                      "iterations)")
+        events_path = run.path / "events.jsonl"
+        if events_path.is_file():
+            with open(events_path) as handle:
+                count = sum(1 for _ in handle)
+            _echo(f"events   : {count}")
+        for entry in sorted(run.path.iterdir()):
+            _echo(f"file     : {entry.name} "
+                  f"({entry.stat().st_size} B)")
+        return 0
+    if args.runs_command == "compare":
+        base = registry.resolve(args.base)
+        head = registry.resolve(args.head)
+        _echo(f"BASE {base.run_id} ({base.kind}: {base.label})")
+        _echo(f"HEAD {head.run_id} ({head.kind}: {head.label})")
+        keys = sorted(set(base.metrics) & set(head.metrics))
+        if not keys:
+            _echo("(no shared metric summary keys to compare)")
+            return 0
+        _echo(f"{'metric':20s} {'base':>12s} {'head':>12s} "
+              f"{'delta':>8s}")
+        for key in keys:
+            a, b = base.metrics[key], head.metrics[key]
+            delta = (f"{100.0 * (b - a) / abs(a):+.1f}%"
+                     if a else "n/a")
+            _echo(f"{key:20s} {a:>12.5g} {b:>12.5g} {delta:>8s}")
+        return 0
+    if args.runs_command == "gc":
+        victims = registry.gc(keep=args.keep, dry_run=args.dry_run)
+        verb = "would delete" if args.dry_run else "deleted"
+        for run in victims:
+            _echo(f"{verb}: {run.run_id}")
+        _echo(f"{verb} {len(victims)} run(s), keeping newest "
+              f"{args.keep}")
+        return 0
+    raise AssertionError(f"unhandled runs command {args.runs_command}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -242,6 +384,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_place.add_argument("--profile", action="store_true",
                          help="print a per-phase time table")
+    p_place.add_argument(
+        "--racing", action="store_true",
+        help="race the --seeds fan-out: cancel convergence-dominated "
+             "seeds after warmup (repro.obs.racing)",
+    )
+    p_place.add_argument(
+        "--save-run", action="store_true",
+        help="record this invocation in the run registry "
+             "($REPRO_RUNS_DIR or ./runs; inspect with 'repro runs')",
+    )
 
     p_sim = sub.add_parser("simulate",
                            help="simulate a layout's performance")
@@ -267,6 +419,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for per-circuit fan-out "
              "(table3/table5/table7; 0 = all cores)",
     )
+    p_table.add_argument(
+        "--save-run", action="store_true",
+        help="record the rendered table in the run registry",
+    )
+
+    p_runs = sub.add_parser(
+        "runs", help="inspect the persistent run registry"
+    )
+    p_runs.add_argument(
+        "--root", default=None,
+        help="registry root (default: $REPRO_RUNS_DIR or ./runs)",
+    )
+    runs_sub = p_runs.add_subparsers(dest="runs_command",
+                                     required=True)
+    runs_sub.add_parser("list",
+                        help="list recorded runs, oldest first")
+    p_show = runs_sub.add_parser(
+        "show", help="print one run's manifest and artifacts"
+    )
+    p_show.add_argument(
+        "run", help="run id, unique prefix, or 'latest'"
+    )
+    p_rcmp = runs_sub.add_parser(
+        "compare", help="diff two runs' metric summaries"
+    )
+    p_rcmp.add_argument("base",
+                        help="baseline run id/prefix/'latest'")
+    p_rcmp.add_argument("head",
+                        help="candidate run id/prefix/'latest'")
+    p_gc = runs_sub.add_parser(
+        "gc", help="delete all but the newest runs"
+    )
+    p_gc.add_argument("--keep", type=int, default=20,
+                      help="runs to keep (default: 20)")
+    p_gc.add_argument("--dry-run", action="store_true",
+                      help="report deletions without touching disk")
     return parser
 
 
@@ -278,6 +466,7 @@ def main(argv=None) -> int:
         "place": _cmd_place,
         "simulate": _cmd_simulate,
         "table": _cmd_table,
+        "runs": _cmd_runs,
     }
     return handlers[args.command](args)
 

@@ -24,7 +24,7 @@ from ..analytic import (
     wa_wirelength,
 )
 from ..netlist import Circuit
-from ..obs import memory, metrics, trace
+from ..obs import live, memory, metrics, trace
 from ..obs.log import get_logger
 from ..placement import Placement, PlacerResult
 from .hard_symmetry import HardSymmetryMap
@@ -232,7 +232,7 @@ class EPlaceGlobalPlacer:
         )
         history = []
         iterations = 0
-        recording = tracer.enabled
+        recording = tracer.enabled or live.active()
         with tracer.span("eplace.gp.nesterov"):
             for iterations in range(1, p.max_iters + 1):
                 info = optimizer.step()
@@ -243,8 +243,7 @@ class EPlaceGlobalPlacer:
                         cx, cy = optimizer.v[:n], optimizer.v[n:]
                     else:
                         cx, cy = self._hard_map.expand(optimizer.v)
-                    tracer.record(
-                        "eplace.nesterov", iterations,
+                    values = dict(
                         value=info.value,
                         grad_norm=info.grad_norm,
                         step_length=info.step_length,
@@ -252,6 +251,12 @@ class EPlaceGlobalPlacer:
                         density_weight=self._lambda,
                         hpwl=self._exact_hpwl(cx, cy),
                         **getattr(self, "_terms", {}),
+                    )
+                    tracer.record(
+                        "eplace.nesterov", iterations, **values
+                    )
+                    live.progress(
+                        "eplace.nesterov", iterations, **values
                     )
                 if (
                     iterations >= p.min_iters

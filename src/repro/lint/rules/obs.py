@@ -135,6 +135,35 @@ class SpanContractRule(Rule):
 
 
 @register
+class LiveProgressRule(Rule):
+    """RPR203: convergence recording must also stream live events."""
+
+    id = "RPR203"
+    name = "record-publishes-progress"
+    summary = (
+        "engine loops calling trace.record(...) must publish the same "
+        "iteration via repro.obs.live.progress(...) so the live bus "
+        "sees exactly what the post-mortem trace sees"
+    )
+    scopes = _ENGINE_SCOPES
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            called = _called_names(node)
+            if "record" in called and "progress" not in called:
+                yield self.finding(
+                    module, node,
+                    f"{node.name}() records convergence iterations "
+                    "but never publishes them on the live bus; pair "
+                    "each tracer.record(...) with live.progress(...)",
+                )
+
+
+@register
 class NoPrintRule(Rule):
     """RPR202: no ``print`` in library code."""
 

@@ -25,14 +25,29 @@ See :mod:`repro.obs.trace` for the zero-overhead-when-disabled design,
 :mod:`repro.obs.metrics` for the always-on registry benchmarks consume.
 """
 
-from . import env, export, log, memory, metrics, trace
+from . import env, export, live, log, memory, metrics, racing, \
+    registry, trace
 from .env import fingerprint, utc_timestamp
 from .export import format_profile, read_jsonl, trace_records, \
     write_jsonl
+from .live import (
+    CancelledRun,
+    CollectingSubscriber,
+    EventBus,
+    PhaseEvent,
+    ProgressEvent,
+    RaceEvent,
+    ResourceSample,
+    ResourceSampler,
+    RingSubscriber,
+)
 from .log import configure as configure_logging
 from .log import get_logger
 from .memory import MemoryProfile, phase_peak, profile_memory
 from .metrics import REGISTRY, MetricsRegistry, snapshot
+from .racing import KillRecord, RaceController, RaceResult, \
+    RacingParams
+from .registry import RunRegistry, RunWriter
 from .trace import (
     NULL_TRACER,
     IterationRecord,
@@ -44,11 +59,26 @@ from .trace import (
 )
 
 __all__ = [
+    "CancelledRun",
+    "CollectingSubscriber",
+    "EventBus",
     "IterationRecord",
+    "KillRecord",
     "MemoryProfile",
     "MetricsRegistry",
     "NULL_TRACER",
+    "PhaseEvent",
+    "ProgressEvent",
     "REGISTRY",
+    "RaceController",
+    "RaceEvent",
+    "RaceResult",
+    "RacingParams",
+    "ResourceSample",
+    "ResourceSampler",
+    "RingSubscriber",
+    "RunRegistry",
+    "RunWriter",
     "SpanRecord",
     "Stopwatch",
     "Trace",
@@ -59,12 +89,15 @@ __all__ = [
     "fingerprint",
     "format_profile",
     "get_logger",
+    "live",
     "log",
     "memory",
     "metrics",
     "phase_peak",
     "profile_memory",
+    "racing",
     "read_jsonl",
+    "registry",
     "snapshot",
     "trace",
     "trace_records",

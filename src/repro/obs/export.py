@@ -2,8 +2,10 @@
 
 JSONL schema — one JSON object per line, discriminated by ``type``:
 
-* ``{"type": "meta", ...}`` — header: record counts, drop counters and
-  any caller-supplied context (method, circuit, runtime_s);
+* ``{"type": "meta", ...}`` — header: record counts, drop counters,
+  the tracer's wall-clock ``epoch_unix`` (the zero point of every
+  span's monotonic ``t0`` offset — the only wall-clock value in the
+  file) and any caller-supplied context (method, circuit, runtime_s);
 * ``{"type": "span", "name", "t0", "dur_s", "self_s", "depth",
   "parent", "thread", "attrs"}`` — one per completed span;
 * ``{"type": "iteration", "phase", "iteration", **values}`` — one per
@@ -29,7 +31,7 @@ from .trace import IterationRecord, SpanRecord, Trace
 #: keys of the meta header computed from the trace itself (everything
 #: else in the header is caller-supplied context and round-trips)
 _META_COMPUTED = ("type", "spans", "iterations", "dropped_spans",
-                  "dropped_records")
+                  "dropped_records", "epoch_unix")
 
 
 def trace_records(trace: Trace, **meta: object) -> Iterator[dict]:
@@ -45,6 +47,10 @@ def trace_records(trace: Trace, **meta: object) -> Iterator[dict]:
         "dropped_spans": trace.dropped_spans,
         "dropped_records": trace.dropped_records,
     }
+    if trace.epoch_unix is not None:
+        # the only wall-clock reading in the file: the zero point of
+        # every span's monotonic start offset
+        header["epoch_unix"] = trace.epoch_unix
     header.update(meta)
     yield header
     for s in trace.spans:
@@ -163,6 +169,7 @@ def read_jsonl(
         gauges=gauges,
         dropped_spans=header.get("dropped_spans", 0),
         dropped_records=header.get("dropped_records", 0),
+        epoch_unix=header.get("epoch_unix"),
     )
     return meta, reloaded
 

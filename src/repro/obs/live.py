@@ -1,0 +1,427 @@
+"""Live telemetry bus: streaming engine events while a run happens.
+
+The recorder in :mod:`repro.obs.trace` tells the convergence story
+*post mortem* — spans and iteration records are snapshotted into a
+:class:`~repro.obs.trace.Trace` after the engine returns.  This module
+is the streaming half of the observability stack: engines publish
+typed events *while they run* and any number of subscribers watch the
+stream live.  Two consumers are built on it today — the run registry
+(:mod:`repro.obs.registry`) persists event streams next to traces, and
+the portfolio racer (:mod:`repro.obs.racing`) cancels dominated seeds
+mid-run — and the placement-as-a-service layer is designed against the
+same stream.
+
+Event types (all plain picklable dataclasses, see each class):
+
+* :class:`ProgressEvent` — one per engine iteration (or temperature
+  stage / CG step); deterministic content, **no timestamps**, so two
+  seeded runs publish identical streams and the cross-process bridge
+  can be tested for bit-identity.
+* :class:`PhaseEvent` — lifecycle markers (``start``/``end``) for
+  flows and fan-out tasks.
+* :class:`ResourceSample` — RSS/CPU snapshots from the background
+  :class:`ResourceSampler` daemon thread (these *do* carry elapsed
+  time; they are diagnostics, not part of the deterministic stream).
+* :class:`RaceEvent` — racing-controller decisions (seed kills), so
+  the kill history is itself observable and persistable.
+
+Design rules, mirroring :mod:`repro.obs.trace`:
+
+* **Off by default, near-zero cost when off.**  With no bus active on
+  the thread, :func:`progress` returns after a single thread-local
+  lookup and constructs *no event object* — the overhead-guard test
+  pins zero ``ProgressEvent`` constructions on the disabled path.
+  Engines additionally guard value computation behind
+  ``tracer.enabled or live.active()`` so disabled runs skip even the
+  kwargs dict.
+* **Synchronous, ordered delivery.**  ``publish`` calls every
+  subscriber inline, in subscription order; a subscriber sees events
+  in exactly the order they were published.  Slow consumers that
+  cannot keep up use a bounded :class:`RingSubscriber`, which drops
+  oldest events and counts the drops (backpressure by shedding, never
+  by blocking the engine).
+* **Cooperative cancellation.**  A bus can carry a ``cancel_check``
+  callable; :func:`progress` raises :class:`CancelledRun` right after
+  publishing once it returns true.  This is how the racer kills a
+  losing seed: the engine's own next progress publication is the
+  cancellation point, so no state is torn down mid-update.
+
+Cross-process: :func:`repro.parallel.parallel_map_live` runs each
+worker under its own bus whose events are forwarded over a pipe and
+republished on the parent's bus, stamped with the worker's task
+``source`` index.  Per-source order is preserved end to end, so
+:meth:`CollectingSubscriber.canonical` (a stable sort by source)
+reconstructs the same merged stream for any job count.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from collections.abc import Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable
+
+#: union of the event types carried by the bus (kept informal so
+#: subscribers can be written against duck-typed ``source`` access)
+Event = Any
+
+
+@dataclass
+class ProgressEvent:
+    """One per-iteration convergence update from an engine main loop.
+
+    ``values`` holds the engine-chosen numeric fields (``hpwl``,
+    ``best_cost``, ``overflow``, ...) — the same payload the tracer's
+    :class:`~repro.obs.trace.IterationRecord` captures.  Carries no
+    wall-clock so seeded runs publish identical streams; ``source`` is
+    ``None`` in-process and the fan-out task index when the event
+    crossed the worker bridge.
+    """
+
+    phase: str
+    iteration: int
+    values: dict
+    source: "int | None" = None
+
+
+@dataclass
+class PhaseEvent:
+    """Lifecycle marker: a named phase ``start``ed or ``end``ed."""
+
+    phase: str
+    status: str  # "start" | "end"
+    source: "int | None" = None
+
+
+@dataclass
+class ResourceSample:
+    """One background resource snapshot (see :class:`ResourceSampler`).
+
+    ``elapsed_s`` is seconds on the sampler's monotonic clock since
+    sampling started; ``cpu_s`` is cumulative process CPU time.  RSS
+    is read from ``/proc/self/statm`` when available and falls back to
+    ``resource.getrusage`` peak RSS otherwise (``rss_is_peak`` says
+    which).
+    """
+
+    elapsed_s: float
+    rss_kib: float
+    cpu_s: float
+    rss_is_peak: bool = False
+    source: "int | None" = None
+
+
+@dataclass
+class RaceEvent:
+    """A racing-controller decision, published on the same bus.
+
+    ``action`` is ``"kill"``; ``landed`` records whether the
+    cancellation actually interrupted the worker (a seed can be marked
+    dominated after it already finished — the decision is still part
+    of the deterministic race record).
+    """
+
+    action: str
+    seed: int
+    task: int
+    iteration: int
+    value: float
+    best: float
+    landed: bool = True
+    source: "int | None" = None
+
+
+class CancelledRun(Exception):
+    """Raised inside an engine when its run was cancelled via the bus.
+
+    Carries the phase/iteration of the progress publication that
+    observed the cancellation, so the worker can report how far the
+    run got before it was killed.
+    """
+
+    def __init__(self, phase: str, iteration: int) -> None:
+        super().__init__(
+            f"run cancelled at {phase}[{iteration}]"
+        )
+        self.phase = phase
+        self.iteration = iteration
+
+
+class EventBus:
+    """In-process pub/sub hub for live telemetry events.
+
+    Subscribers are plain callables ``event -> None`` invoked
+    synchronously in subscription order; exceptions propagate to the
+    publisher (a broken consumer should fail the run loudly, not
+    silently drop telemetry).  ``source`` stamps every
+    :func:`progress`/:func:`phase` publication made through this bus;
+    ``cancel_check`` is polled by :func:`progress` after publishing.
+    """
+
+    def __init__(
+        self,
+        source: "int | None" = None,
+        cancel_check: "Callable[[], bool] | None" = None,
+    ) -> None:
+        self.source = source
+        self.cancel_check = cancel_check
+        self._lock = threading.Lock()
+        self._subscribers: "tuple[Callable[[Event], None], ...]" = ()
+        self.published = 0
+
+    def subscribe(self, fn: "Callable[[Event], None]") -> None:
+        """Add ``fn`` to the delivery list (idempotent per object)."""
+        with self._lock:
+            if fn not in self._subscribers:
+                self._subscribers = self._subscribers + (fn,)
+
+    def unsubscribe(self, fn: "Callable[[Event], None]") -> None:
+        """Remove ``fn``; unknown subscribers are ignored."""
+        with self._lock:
+            self._subscribers = tuple(
+                sub for sub in self._subscribers if sub != fn
+            )
+
+    def publish(self, event: Event) -> None:
+        """Deliver ``event`` to every subscriber, in order.
+
+        The subscriber tuple is replaced atomically on (un)subscribe,
+        so publishing iterates a consistent snapshot without holding
+        the lock while user code runs.
+        """
+        self.published += 1
+        for fn in self._subscribers:
+            fn(event)
+
+    def cancelled(self) -> bool:
+        """True when this bus's run has been cancelled."""
+        check = self.cancel_check
+        return check is not None and check()
+
+
+class RingSubscriber:
+    """Bounded event sink: keeps the newest ``capacity`` events.
+
+    The backpressure policy for consumers that cannot keep up with an
+    engine loop: oldest events are shed and counted instead of ever
+    blocking the publisher.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.events: "deque[Event]" = deque(maxlen=self.capacity)
+        self.seen = 0
+
+    def __call__(self, event: Event) -> None:
+        self.events.append(event)
+        self.seen += 1
+
+    @property
+    def dropped(self) -> int:
+        """How many events were shed at capacity."""
+        return max(0, self.seen - len(self.events))
+
+
+class CollectingSubscriber:
+    """Unbounded event sink with a canonical cross-process ordering.
+
+    ``events`` is arrival order (what a live consumer saw);
+    :meth:`canonical` is a *stable* sort by ``source``, which — because
+    per-source order is preserved by the bridge — yields the same
+    merged stream for any worker count.  The bridge bit-identity tests
+    compare exactly this.
+    """
+
+    def __init__(self) -> None:
+        self.events: "list[Event]" = []
+
+    def __call__(self, event: Event) -> None:
+        self.events.append(event)
+
+    def canonical(self) -> "list[Event]":
+        return sorted(
+            self.events,
+            key=lambda e: (
+                -1 if getattr(e, "source", None) is None
+                else int(e.source)
+            ),
+        )
+
+
+# ---------------------------------------------------------------------------
+# thread-local active bus (mirrors repro.obs.trace._ACTIVE)
+
+_ACTIVE = threading.local()
+
+
+def current() -> "EventBus | None":
+    """The bus active on this thread (``None`` when telemetry is off)."""
+    return getattr(_ACTIVE, "bus", None)
+
+
+def active() -> bool:
+    """True when a live bus is active on this thread."""
+    return getattr(_ACTIVE, "bus", None) is not None
+
+
+def progress(phase: str, iteration: int, **values: float) -> None:
+    """Publish one :class:`ProgressEvent` on the active bus.
+
+    No-op (and allocation-free: no event object is constructed) when
+    no bus is active.  After publishing, polls the bus's cancellation
+    token and raises :class:`CancelledRun` when set — engine main
+    loops therefore need no explicit cancellation plumbing beyond
+    publishing their progress.
+    """
+    bus = getattr(_ACTIVE, "bus", None)
+    if bus is None:
+        return
+    bus.publish(ProgressEvent(phase, int(iteration), values, bus.source))
+    if bus.cancelled():
+        raise CancelledRun(phase, int(iteration))
+
+
+def phase(name: str, status: str) -> None:
+    """Publish one :class:`PhaseEvent` on the active bus (no-op off)."""
+    bus = getattr(_ACTIVE, "bus", None)
+    if bus is None:
+        return
+    bus.publish(PhaseEvent(name, status, bus.source))
+
+
+@contextmanager
+def session(bus: "EventBus | None" = None) -> "Iterator[EventBus]":
+    """Activate ``bus`` (or a fresh one) on this thread for the block.
+
+    Nests like :func:`repro.obs.tracing`: the previous bus (if any) is
+    restored on exit.
+    """
+    if bus is None:
+        bus = EventBus()
+    previous = getattr(_ACTIVE, "bus", None)
+    _ACTIVE.bus = bus
+    try:
+        yield bus
+    finally:
+        _ACTIVE.bus = previous
+
+
+# ---------------------------------------------------------------------------
+# background resource sampling
+
+
+def _read_rss_kib() -> "tuple[float, bool]":
+    """Current RSS in KiB, preferring ``/proc`` (exact, current).
+
+    Returns ``(rss_kib, is_peak)``; the fallback reports the peak RSS
+    from ``getrusage`` because portable *current* RSS needs psutil,
+    which this repo does not depend on.
+    """
+    try:
+        with open("/proc/self/statm") as handle:
+            fields = handle.read().split()
+        return float(fields[1]) * os.sysconf("SC_PAGE_SIZE") / 1024.0, False
+    except (OSError, IndexError, ValueError):
+        import resource
+
+        usage = resource.getrusage(resource.RUSAGE_SELF)
+        return float(usage.ru_maxrss), True
+
+
+class ResourceSampler:
+    """Daemon thread publishing :class:`ResourceSample` events.
+
+    Samples every ``interval`` seconds on its own monotonic clock and
+    publishes to the bus it was given — independent of the
+    thread-local active bus, so a sampler can watch a run from outside
+    the engine thread.  Use as a context manager::
+
+        with live.session() as bus, live.ResourceSampler(bus, 0.25):
+            place(circuit)
+    """
+
+    def __init__(self, bus: EventBus, interval: float = 0.5) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        self.bus = bus
+        self.interval = float(interval)
+        self.samples = 0
+        self._stop = threading.Event()
+        self._thread: "threading.Thread | None" = None
+
+    def _run(self) -> None:
+        start = time.perf_counter()
+        while not self._stop.is_set():
+            rss_kib, is_peak = _read_rss_kib()
+            times = os.times()
+            self.bus.publish(ResourceSample(
+                elapsed_s=time.perf_counter() - start,
+                rss_kib=rss_kib,
+                cpu_s=times.user + times.system,
+                rss_is_peak=is_peak,
+                source=self.bus.source,
+            ))
+            self.samples += 1
+            self._stop.wait(self.interval)
+
+    def start(self) -> "ResourceSampler":
+        """Start the daemon sampling thread (idempotent)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._run, name="repro-resource-sampler",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop sampling and join the thread."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "ResourceSampler":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> bool:
+        self.stop()
+        return False
+
+
+# ---------------------------------------------------------------------------
+# event (de)serialisation for the run registry's events.jsonl
+
+_EVENT_TYPES: "dict[str, type]" = {
+    "progress": ProgressEvent,
+    "phase": PhaseEvent,
+    "resource": ResourceSample,
+    "race": RaceEvent,
+}
+_TYPE_NAMES = {cls: name for name, cls in _EVENT_TYPES.items()}
+
+
+def event_to_record(event: Event) -> dict:
+    """One JSONL-able dict per event, discriminated by ``"event"``."""
+    name = _TYPE_NAMES.get(type(event))
+    if name is None:
+        raise TypeError(f"not a live telemetry event: {event!r}")
+    record = {"event": name}
+    record.update(event.__dict__)
+    return record
+
+
+def event_from_record(record: dict) -> Event:
+    """Inverse of :func:`event_to_record` (raises on unknown kinds)."""
+    kind = record.get("event")
+    cls = _EVENT_TYPES.get(kind)  # type: ignore[arg-type]
+    if cls is None:
+        raise ValueError(f"unknown live event kind {kind!r}")
+    fields = {k: v for k, v in record.items() if k != "event"}
+    return cls(**fields)

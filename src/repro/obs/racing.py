@@ -1,0 +1,347 @@
+"""Convergence-driven seed racing over the live telemetry stream.
+
+The Grus & Hanzalek portfolio direction (PAPERS.md, arXiv 2410.16323)
+replaces fixed per-seed budgets with *racing*: run engine seeds
+concurrently, watch their convergence, and kill the ones that are
+dominated so the budget concentrates on promising runs.  This module
+is the decision layer: :class:`RaceController` subscribes to the
+merged event stream of a :func:`repro.parallel.parallel_map_live`
+fan-out, aligns every seed's convergence metric on iteration-indexed
+checkpoints, and cancels dominated seeds through the fan-out's
+:class:`~repro.parallel.LiveHandle`.  The consumer entry point is
+``repro.api.place_multiseed(racing=RacingParams(...))``.
+
+Determinism contract — the part that makes racing testable:
+
+* Kill decisions are **iteration-aligned, not wall-clock-aligned**.  A
+  checkpoint ``c`` is decided only once every surviving seed has
+  either published a progress value at iteration ``>= c`` or finished
+  its run; the decision then depends exclusively on recorded metric
+  values, which are seed-deterministic.  By induction the set of
+  killed seeds — and therefore the winner — is identical for any job
+  count and any worker scheduling.
+* What *does* vary with scheduling is how much work a killed seed
+  managed to burn before the cancellation landed (``landed`` on the
+  :class:`~repro.obs.live.RaceEvent` records whether it landed at
+  all).  Racing saves wall-clock; it never changes the answer.
+
+Every kill decision is itself published on the bus as a
+:class:`~repro.obs.live.RaceEvent`, so the race history lands in the
+same subscribers (run registry, CLI) as the convergence stream it was
+derived from.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from . import live
+from .log import get_logger
+
+logger = get_logger("obs.racing")
+
+#: metric keys tried in order when ``RacingParams.metric`` is unset;
+#: all are minimised by every engine that publishes them
+_AUTO_METRICS = ("best_cost", "cost", "hpwl", "value")
+
+
+@dataclass(frozen=True)
+class RacingParams:
+    """Configuration of one convergence race.
+
+    ``warmup_frac`` of ``expected_iterations`` must pass before the
+    first checkpoint — early convergence curves cross constantly, so
+    killing before warmup would race noise.  From there a checkpoint
+    every ``check_every`` iterations compares each surviving seed's
+    metric against the best survivor; seeds worse than
+    ``best * (1 + rel_tol)`` are killed (worst first), but never below
+    ``min_survivors``.  ``metric`` picks the compared value key
+    (auto-detected per :data:`_AUTO_METRICS` when ``None``); lower is
+    better.  ``expected_iterations`` is derived from the engine
+    parameters by ``place_multiseed`` when left ``None``.
+    """
+
+    warmup_frac: float = 0.3
+    check_every: int = 1
+    rel_tol: float = 0.05
+    min_survivors: int = 1
+    metric: "str | None" = None
+    phase: "str | None" = None
+    expected_iterations: "int | None" = None
+
+
+@dataclass
+class KillRecord:
+    """One racing decision: seed ``seed`` was dominated at a checkpoint.
+
+    ``landed`` is ``False`` when the seed had already finished when
+    the decision was made (possible with few workers, where seeds run
+    far apart in time) — it is still excluded from winner selection so
+    the race outcome stays scheduling-independent.
+    """
+
+    task: int
+    seed: int
+    iteration: int
+    value: float
+    best: float
+    landed: bool = True
+
+
+@dataclass
+class RaceResult:
+    """Outcome of one raced ``place_multiseed`` call.
+
+    ``results[i]`` is seed ``seeds[i]``'s :class:`PlacerResult`, or
+    ``None`` when the kill landed and the run was cancelled mid-loop.
+    ``winner_index`` (and :attr:`winner`) consider only seeds that
+    were never marked dominated, so the selection is deterministic
+    across job counts even when a kill failed to land.
+    """
+
+    seeds: "list[int]"
+    results: "list[Any]"
+    kills: "list[KillRecord]"
+    metric: str
+    progress_events: int
+    winner_index: int
+
+    @property
+    def winner(self) -> Any:
+        """The best surviving seed's result."""
+        return self.results[self.winner_index]
+
+    @property
+    def killed_seeds(self) -> "list[int]":
+        """Seeds marked dominated, in decision order."""
+        return [k.seed for k in self.kills]
+
+
+class _TaskState:
+    """Per-seed view of the stream: (iteration, value) samples."""
+
+    __slots__ = ("iterations", "values", "finished", "killed")
+
+    def __init__(self) -> None:
+        self.iterations: "list[int]" = []
+        self.values: "list[float]" = []
+        self.finished = False
+        self.killed = False
+
+    def add(self, iteration: int, value: float) -> None:
+        # engines publish monotonically increasing iterations; a
+        # same-iteration republish overwrites (keeps the latest)
+        if self.iterations and iteration <= self.iterations[-1]:
+            self.values[-1] = value
+            return
+        self.iterations.append(iteration)
+        self.values.append(value)
+
+    def reached(self, checkpoint: int) -> bool:
+        return bool(
+            self.iterations and self.iterations[-1] >= checkpoint
+        )
+
+    def value_at(self, checkpoint: int) -> "float | None":
+        """Metric at the last iteration ``<= checkpoint``.
+
+        Falls back to the final recorded value for a seed that
+        finished before reaching the checkpoint; ``None`` when the
+        seed published nothing usable at all.
+        """
+        pos = bisect_right(self.iterations, checkpoint)
+        if pos > 0:
+            return self.values[pos - 1]
+        if self.finished and self.values:
+            return self.values[-1]
+        return None
+
+
+class RaceController:
+    """Subscribes to a fan-out's merged stream and kills losers.
+
+    Wire-up order matters: subscribe the controller to the parent bus
+    *before* launching tasks, then hand it the fan-out's
+    :class:`~repro.parallel.LiveHandle` via :meth:`bind` (the
+    ``handle_ready`` callback of :func:`parallel_map_live`).  After
+    the fan-out returns, :meth:`finalize` decides any checkpoints that
+    were still waiting on stragglers so the kill record is complete
+    and job-count-invariant.
+    """
+
+    def __init__(
+        self,
+        params: RacingParams,
+        seeds: "Sequence[int]",
+        expected_iterations: int,
+    ) -> None:
+        if expected_iterations < 1:
+            raise ValueError(
+                "racing needs expected_iterations >= 1, got "
+                f"{expected_iterations}"
+            )
+        self.params = params
+        self.seeds = list(seeds)
+        self.expected_iterations = int(expected_iterations)
+        self.metric: "str | None" = params.metric
+        self.phase: "str | None" = params.phase
+        self.kills: "list[KillRecord]" = []
+        self.progress_events = 0
+        self._handle: "Any | None" = None
+        self._bus: "live.EventBus | None" = None
+        self._states = [_TaskState() for _ in seeds]
+        warmup = max(1, math.ceil(
+            params.warmup_frac * self.expected_iterations
+        ))
+        stride = max(1, int(params.check_every))
+        self._checkpoints = list(
+            range(warmup, self.expected_iterations + 1, stride)
+        )
+        self._next_checkpoint = 0
+
+    # -- wiring --------------------------------------------------------
+    def bind(self, handle: Any) -> None:
+        """Receive the fan-out's cancellation handle (handle_ready)."""
+        self._handle = handle
+
+    def attach(self, bus: "live.EventBus") -> None:
+        """Subscribe to ``bus`` and remember it for kill events."""
+        self._bus = bus
+        bus.subscribe(self)
+
+    def detach(self) -> None:
+        if self._bus is not None:
+            self._bus.unsubscribe(self)
+
+    # -- stream consumption --------------------------------------------
+    def __call__(self, event: Any) -> None:
+        if isinstance(event, live.ProgressEvent):
+            self._on_progress(event)
+        elif isinstance(event, live.PhaseEvent):
+            if event.phase == "task" and event.status == "end" and \
+                    event.source is not None:
+                self._states[event.source].finished = True
+                self._decide_ready()
+
+    def _on_progress(self, event: "live.ProgressEvent") -> None:
+        self.progress_events += 1
+        if event.source is None:
+            return
+        state = self._states[event.source]
+        if state.killed:
+            # post-decision events from a not-yet-landed cancel must
+            # not influence later checkpoints (determinism)
+            return
+        if self.metric is None:
+            for key in _AUTO_METRICS:
+                if key in event.values:
+                    self.metric = key
+                    break
+            else:
+                return
+        if self.phase is None:
+            self.phase = event.phase
+        if event.phase != self.phase:
+            return
+        value = event.values.get(self.metric)
+        if value is None:
+            return
+        state.add(event.iteration, float(value))
+        self._decide_ready()
+
+    # -- decisions -----------------------------------------------------
+    def _alive(self) -> "list[int]":
+        return [i for i, s in enumerate(self._states) if not s.killed]
+
+    def _decide_ready(self) -> None:
+        """Decide checkpoints, in order, as their barriers complete."""
+        while self._next_checkpoint < len(self._checkpoints):
+            checkpoint = self._checkpoints[self._next_checkpoint]
+            alive = self._alive()
+            if len(alive) <= self.params.min_survivors:
+                self._next_checkpoint = len(self._checkpoints)
+                return
+            if not all(
+                self._states[i].finished
+                or self._states[i].reached(checkpoint)
+                for i in alive
+            ):
+                return
+            self._decide(checkpoint, alive)
+            self._next_checkpoint += 1
+
+    def _decide(self, checkpoint: int, alive: "list[int]") -> None:
+        scored = [
+            (i, value)
+            for i in alive
+            if (value := self._states[i].value_at(checkpoint))
+            is not None
+        ]
+        if len(scored) < 2:
+            return
+        best = min(value for _, value in scored)
+        threshold = best * (1.0 + self.params.rel_tol) if best >= 0 \
+            else best * (1.0 - self.params.rel_tol)
+        dominated = sorted(
+            ((i, value) for i, value in scored if value > threshold),
+            key=lambda pair: (-pair[1], pair[0]),
+        )
+        budget = len(alive) - self.params.min_survivors
+        for task, value in dominated[:max(0, budget)]:
+            self._kill(task, checkpoint, value, best)
+
+    def _kill(self, task: int, checkpoint: int, value: float,
+              best: float) -> None:
+        state = self._states[task]
+        state.killed = True
+        landed = not state.finished
+        if landed and self._handle is not None:
+            self._handle.cancel(task)
+        record = KillRecord(
+            task=task, seed=self.seeds[task], iteration=checkpoint,
+            value=value, best=best, landed=landed,
+        )
+        self.kills.append(record)
+        logger.info(
+            "race: seed %d dominated at iteration %d "
+            "(%.6g vs best %.6g%s)",
+            record.seed, checkpoint, value, best,
+            "" if landed else ", already finished",
+        )
+        if self._bus is not None:
+            self._bus.publish(live.RaceEvent(
+                action="kill", seed=record.seed, task=task,
+                iteration=checkpoint, value=value, best=best,
+                landed=landed,
+            ))
+
+    # -- completion ----------------------------------------------------
+    def finalize(self) -> None:
+        """Flush decisions after the fan-out has fully drained.
+
+        Every seed is finished (or cancelled) by now; remaining
+        checkpoints have complete barriers, so deciding them here
+        keeps the kill record identical whether or not the kills could
+        land in time.
+        """
+        for state in self._states:
+            if not state.killed:
+                state.finished = True
+        self._decide_ready()
+
+    def winner_index(self) -> int:
+        """Deterministic winner: best final metric among non-killed."""
+        candidates = [
+            (self._states[i].values[-1], i)
+            for i in self._alive()
+            if self._states[i].values
+        ]
+        if not candidates:
+            # degenerate stream (no usable metric published): first
+            # surviving seed wins by convention
+            alive = self._alive()
+            return alive[0] if alive else 0
+        return min(candidates)[1]

@@ -31,6 +31,16 @@ Engines activate tracing with::
 This module is the only place in ``repro`` allowed to call
 :func:`time.perf_counter`; engines take wall-clock readings through
 :class:`Stopwatch` and spans.
+
+Clock discipline: every span offset inside one tracer is measured on a
+*single monotonic clock* captured at tracer construction
+(``perf_counter`` — immune to NTP steps and DST).  The only wall-clock
+reading a tracer ever takes is its construction ``epoch_unix``, which
+is exported as metadata and used by :meth:`Tracer.absorb` to rebase
+worker-process span offsets onto the parent's clock — so merged
+multi-process streams order consistently even though each process has
+its own arbitrary ``perf_counter`` origin, and a system clock
+adjustment mid-run can never reorder records.
 """
 
 from __future__ import annotations
@@ -40,7 +50,7 @@ import time
 from collections import deque
 from collections.abc import Iterator
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 
 class Stopwatch:
@@ -106,6 +116,11 @@ class Trace:
     gauges: dict = field(default_factory=dict)
     dropped_spans: int = 0
     dropped_records: int = 0
+    #: wall-clock (unix seconds) at the owning tracer's construction —
+    #: the zero point of every span's monotonic ``start`` offset.  Only
+    #: used for exported metadata and cross-process rebasing in
+    #: :meth:`Tracer.absorb`; ``None`` on empty/legacy traces.
+    epoch_unix: "float | None" = None
 
     def __bool__(self) -> bool:
         return bool(
@@ -249,7 +264,11 @@ class Tracer:
     ) -> None:
         self.enabled = bool(enabled)
         self.max_spans = int(max_spans)
+        # the single monotonic clock all of this tracer's span offsets
+        # are measured on, plus the one wall-clock reading that anchors
+        # it (metadata + cross-process rebasing only)
         self._clock = Stopwatch()
+        self.epoch_unix = time.time()
         self._lock = threading.Lock()
         self._spans: list[SpanRecord] = []
         self._dropped_spans = 0
@@ -317,16 +336,31 @@ class Tracer:
         are appended in call order (deterministic when workers are
         absorbed in input order), timers accumulate by name.
 
+        Span ``start`` offsets are rebased onto *this* tracer's clock
+        using the two epochs (worker offset + worker epoch − parent
+        epoch), so a merged trace orders on one timeline instead of
+        interleaving arbitrary per-process ``perf_counter`` origins.
+        Traces without an epoch (legacy exports) are absorbed with
+        their offsets unchanged.
+
         Counter/gauge snapshots are *not* absorbed: they mirror the
         global metrics registry, which worker processes do not share.
         """
         if not self.enabled or not trace:
             return
+        shift = 0.0
+        if trace.epoch_unix is not None:
+            shift = trace.epoch_unix - self.epoch_unix
         with self._lock:
             for span_record in trace.spans:
                 if len(self._spans) >= self.max_spans:
                     self._dropped_spans += 1
                 else:
+                    if shift:
+                        span_record = replace(
+                            span_record,
+                            start=span_record.start + shift,
+                        )
                     self._spans.append(span_record)
             self._dropped_spans += trace.dropped_spans
             for record in trace.convergence:
@@ -371,6 +405,7 @@ class Tracer:
                 dropped_records=max(
                     0, self._total_records - maxlen
                 ),
+                epoch_unix=self.epoch_unix,
             )
 
 

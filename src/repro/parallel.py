@@ -27,15 +27,33 @@ that want per-worker traces activate ``obs.tracing()`` inside the
 worker, ship the :class:`repro.obs.Trace` back in the result (traces
 are plain picklable dataclasses), and merge them into the parent's
 tracer with :meth:`repro.obs.trace.Tracer.absorb`.
+
+Live telemetry: :func:`parallel_map_live` is the streaming variant —
+each worker runs under its own :class:`repro.obs.live.EventBus` whose
+events are forwarded over a pipe and republished on the parent's bus
+as they arrive, stamped with the worker's task index (``source``).
+Per-task event order is preserved end to end, so the canonical merged
+stream (stable sort by source) is bit-identical for any job count.
+The handle passed to ``handle_ready`` cancels individual tasks
+cooperatively: the worker's next progress publication raises
+:class:`repro.obs.live.CancelledRun`, and the task resolves to a
+:class:`CancelledTask` marker instead of a result — the mechanism the
+convergence racer (:mod:`repro.obs.racing`) kills dominated seeds
+with.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import queue as queue_mod
+import threading
+import traceback
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
 from typing import Any, Callable, Sequence, TypeVar
 
+from .obs import live
 from .obs.log import get_logger
 
 logger = get_logger("parallel")
@@ -87,3 +105,210 @@ def parallel_map(
         max_workers=workers, mp_context=context
     ) as pool:
         return list(pool.map(fn, items, chunksize=1))
+
+
+# ---------------------------------------------------------------------------
+# streaming fan-out: the worker -> parent live-event bridge
+
+
+@dataclass
+class CancelledTask:
+    """Marker result for a task killed through its cancel token.
+
+    ``phase``/``iteration`` name the progress publication that observed
+    the cancellation — how far the run got before it was stopped.
+    """
+
+    index: int
+    phase: str
+    iteration: int
+
+
+class LiveHandle:
+    """Cancellation handle for one :func:`parallel_map_live` fan-out.
+
+    ``cancel(i)`` sets task ``i``'s token; the worker's next progress
+    publication raises :class:`repro.obs.live.CancelledRun` and the
+    task resolves to :class:`CancelledTask`.  Cancellation is
+    cooperative and idempotent; cancelling a finished task is a no-op.
+    """
+
+    def __init__(self, tokens: "Sequence[Any]") -> None:
+        self._tokens = list(tokens)
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def cancel(self, index: int) -> None:
+        """Request cooperative cancellation of task ``index``."""
+        self._tokens[index].set()
+
+    def cancelled(self, index: int) -> bool:
+        """True when task ``index`` has been asked to stop."""
+        return bool(self._tokens[index].is_set())
+
+
+def _execute_task(
+    fn: "Callable[[_T], _R]",
+    index: int,
+    item: "_T",
+    task_bus: "live.EventBus",
+) -> "tuple[str, Any]":
+    """Run one task under its own live bus; shared by both paths.
+
+    Inline and worker-process execution publish byte-identical event
+    sequences because they run this exact function: a ``task``
+    start marker, the engine's own events, and an ``end`` marker on
+    success (a cancelled task ends with its last progress event
+    instead).  Returns ``("done", result)`` or ``("cancelled",
+    CancelledTask)``.
+    """
+    with live.session(task_bus):
+        live.phase("task", "start")
+        try:
+            result: Any = fn(item)
+        except live.CancelledRun as exc:
+            return ("cancelled",
+                    CancelledTask(index, exc.phase, exc.iteration))
+        live.phase("task", "end")
+        return ("done", result)
+
+
+def _live_worker(
+    fn: "Callable[[Any], Any]",
+    index: int,
+    item: Any,
+    channel: Any,
+    token: Any,
+) -> None:
+    """Child-process body: forward events, then the task's outcome.
+
+    Runs under a fork context, so ``fn``/``item`` arrive by memory
+    inheritance (never pickled); events and results return through
+    ``channel`` and are pickled there.  Message order per task is
+    guaranteed by the queue's FIFO discipline: every event precedes
+    the final ``done``/``cancelled``/``error`` message.
+    """
+    try:
+        task_bus = live.EventBus(
+            source=index, cancel_check=token.is_set
+        )
+        task_bus.subscribe(
+            lambda event: channel.put(("event", index, event))
+        )
+        kind, payload = _execute_task(fn, index, item, task_bus)
+        channel.put((kind, index, payload))
+    except BaseException:
+        channel.put(("error", index, traceback.format_exc()))
+
+
+def parallel_map_live(
+    fn: "Callable[[_T], _R]",
+    items: "Sequence[_T]",
+    jobs: "int | None" = 1,
+    bus: "live.EventBus | None" = None,
+    handle_ready: "Callable[[LiveHandle], None] | None" = None,
+) -> "list[Any]":
+    """:func:`parallel_map` with live event streaming and cancellation.
+
+    Each task runs under its own :class:`repro.obs.live.EventBus`;
+    events are republished on ``bus`` (the parent's) as they arrive,
+    stamped with the task index as ``source``.  Results come back in
+    input order; a cancelled task's slot holds a
+    :class:`CancelledTask` marker instead of ``fn``'s return value.
+
+    ``handle_ready`` (if given) receives the :class:`LiveHandle`
+    before any task starts — subscribe a controller to ``bus`` first,
+    then cancel tasks from its event callbacks.
+
+    Ordering contract: per-task event order is preserved in both the
+    inline and the worker-process path, so sorting the merged stream
+    stably by ``source`` yields the same canonical sequence for any
+    ``jobs`` — the bridge bit-identity tests pin this.  Cross-*task*
+    interleaving is scheduling-dependent (that is what makes the
+    stream live).
+    """
+    if bus is None:
+        bus = live.EventBus()
+    effective = normalize_jobs(jobs)
+    n = len(items)
+    if effective <= 1 or n <= 1:
+        tokens = [threading.Event() for _ in range(n)]
+        handle = LiveHandle(tokens)
+        if handle_ready is not None:
+            handle_ready(handle)
+        results: "list[Any]" = []
+        for index, item in enumerate(items):
+            task_bus = live.EventBus(
+                source=index, cancel_check=tokens[index].is_set
+            )
+            task_bus.subscribe(bus.publish)
+            _, payload = _execute_task(fn, index, item, task_bus)
+            results.append(payload)
+        return results
+
+    workers = min(effective, n)
+    context = multiprocessing.get_context("fork")
+    channel: Any = context.Queue()
+    tokens = [context.Event() for _ in range(n)]
+    handle = LiveHandle(tokens)
+    if handle_ready is not None:
+        handle_ready(handle)
+    logger.info(
+        "live parallel map: %d tasks on %d workers", n, workers
+    )
+
+    running: "dict[int, Any]" = {}
+    out: "list[Any]" = [None] * n
+    finished = [False] * n
+    next_task = 0
+    failure: "str | None" = None
+    #: consecutive empty polls seen after every running worker died —
+    #: lets in-flight messages drain before declaring a lost worker
+    dead_polls = 0
+    while (next_task < n or running) and failure is None:
+        while len(running) < workers and next_task < n:
+            proc = context.Process(
+                target=_live_worker,
+                args=(fn, next_task, items[next_task],
+                      channel, tokens[next_task]),
+                daemon=True,
+            )
+            proc.start()
+            running[next_task] = proc
+            next_task += 1
+        try:
+            message = channel.get(timeout=0.1)
+        except queue_mod.Empty:
+            if any(p.is_alive() for p in running.values()):
+                dead_polls = 0
+                continue
+            dead_polls += 1
+            if dead_polls >= 20:
+                lost = sorted(running)
+                failure = (
+                    f"worker process(es) for task(s) {lost} exited "
+                    "without reporting a result"
+                )
+            continue
+        dead_polls = 0
+        kind, index, payload = message
+        if kind == "event":
+            bus.publish(payload)
+        elif kind in ("done", "cancelled"):
+            out[index] = payload
+            finished[index] = True
+            proc = running.pop(index)
+            proc.join()
+        else:  # "error": fail fast, stop the rest of the fleet
+            failure = f"task {index} failed:\n{payload}"
+    if failure is not None:
+        for token in tokens:
+            token.set()
+        for proc in running.values():
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join()
+        raise RuntimeError(failure)
+    return out

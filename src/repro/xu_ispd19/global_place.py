@@ -23,7 +23,7 @@ from ..analytic import (
     lse_wirelength,
 )
 from ..netlist import Circuit
-from ..obs import memory, metrics, trace
+from ..obs import live, memory, metrics, trace
 from ..obs.log import get_logger
 from ..placement import Placement, PlacerResult
 
@@ -165,18 +165,19 @@ class XuGlobalPlacer:
         for stage in range(p.stages):
             fun = self._objective(lam, tau)
             callback = None
-            if tracer.enabled:
+            if tracer.enabled or live.active():
                 base = stage * p.cg_iterations
                 lam_now = lam
 
                 def callback(it, value, grad_norm, step, _base=base,
                              _stage=stage, _lam=lam_now):
-                    tracer.record(
-                        "xu.cg", _base + it,
+                    values = dict(
                         stage=_stage, value=value,
                         grad_norm=grad_norm, step_length=step,
                         density_weight=_lam,
                     )
+                    tracer.record("xu.cg", _base + it, **values)
+                    live.progress("xu.cg", _base + it, **values)
             with tracer.span("xu.gp.stage", stage=stage):
                 result = conjugate_gradient(
                     fun, v, iterations=p.cg_iterations, tol=1e-9,
@@ -185,14 +186,15 @@ class XuGlobalPlacer:
                 )
             v = result.v
             history.append((stage, result.value, lam))
-            if tracer.enabled:
-                tracer.record(
-                    "xu.stage", stage,
+            if tracer.enabled or live.active():
+                values = dict(
                     value=result.value,
                     grad_norm=result.grad_norm,
                     density_weight=lam,
                     hpwl=self._exact_hpwl(v[:n], v[n:]),
                 )
+                tracer.record("xu.stage", stage, **values)
+                live.progress("xu.stage", stage, **values)
             lam *= p.lambda_mult
 
         placement = Placement(self.circuit, v[:n], v[n:])

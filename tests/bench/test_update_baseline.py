@@ -1,0 +1,56 @@
+"""``bench compare --update-baseline``: baseline escalation workflow."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.cli import main
+from .conftest import synthetic_artifact
+
+
+@pytest.fixture
+def artifacts(tmp_path):
+    def write(name: str, runtimes) -> str:
+        path = tmp_path / name
+        with open(path, "w") as handle:
+            json.dump(synthetic_artifact(runtimes), handle)
+        return str(path)
+
+    base = write("base.json", {"annealing:Comp1:1": [1.0, 1.0, 1.0]})
+    good = write("good.json", {"annealing:Comp1:1": [1.0, 1.0, 1.0]})
+    slow = write("slow.json", {"annealing:Comp1:1": [9.0, 9.0, 9.0]})
+    return base, good, slow, tmp_path
+
+
+def test_passing_compare_promotes_head(artifacts, capsys):
+    base, good, _, tmp_path = artifacts
+    target = tmp_path / "baselines" / "smoke-ci.json"
+    target.parent.mkdir()
+    rc = main(["compare", base, good,
+               "--update-baseline", str(target)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert f"baseline : {target} updated" in out
+    # byte-for-byte the HEAD artifact, ready to commit
+    assert target.read_bytes() == open(good, "rb").read()
+
+
+def test_failing_compare_never_touches_baseline(artifacts, capsys):
+    base, _, slow, tmp_path = artifacts
+    target = tmp_path / "smoke-ci.json"
+    rc = main(["compare", base, slow,
+               "--update-baseline", str(target)])
+    assert rc == 1
+    assert not target.exists()
+    assert "NOT updated" in capsys.readouterr().err
+
+
+def test_warn_only_failing_compare_still_skips_update(artifacts):
+    base, _, slow, tmp_path = artifacts
+    target = tmp_path / "smoke-ci.json"
+    rc = main(["compare", base, slow, "--warn-only",
+               "--update-baseline", str(target)])
+    assert rc == 0  # warn-only keeps CI green
+    assert not target.exists()  # but never promotes a regression

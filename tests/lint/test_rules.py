@@ -26,7 +26,7 @@ class TestRegistry:
         assert set(REGISTRY) == {
             "RPR001", "RPR002", "RPR003",
             "RPR101", "RPR102",
-            "RPR201", "RPR202",
+            "RPR201", "RPR202", "RPR203",
             "RPR301",
         }
 
@@ -303,6 +303,51 @@ class TestSpanContractRPR201:
 
     def test_non_engine_scope_not_checked(self):
         assert not _lint(self.BAD, "repro/parasitics/fake.py", "RPR201")
+
+
+class TestLiveProgressRPR203:
+    BAD = """
+        from repro.obs import trace
+
+        def optimize(tracer):
+            for i in range(10):
+                tracer.record("engine.loop", i, value=float(i))
+    """
+
+    GOOD = """
+        from repro.obs import live, trace
+
+        def optimize(tracer):
+            for i in range(10):
+                tracer.record("engine.loop", i, value=float(i))
+                live.progress("engine.loop", i, value=float(i))
+    """
+
+    def test_flags_record_without_progress(self):
+        findings = _lint(self.BAD, "repro/eplace/fake.py", "RPR203")
+        assert _rule_ids(findings) == {"RPR203"}
+        assert "live" in findings[0].message
+
+    def test_clean_paired_progress(self):
+        assert not _lint(self.GOOD, "repro/eplace/fake.py", "RPR203")
+
+    def test_clean_nested_callback(self):
+        # the xu-style pattern: record+progress inside a nested
+        # closure still satisfies the outer function
+        src = """
+            from repro.obs import live, trace
+
+            def optimize(tracer):
+                def callback(i, value):
+                    tracer.record("engine.cg", i, value=value)
+                    live.progress("engine.cg", i, value=value)
+                return callback
+        """
+        assert not _lint(src, "repro/xu_ispd19/fake.py", "RPR203")
+
+    def test_non_engine_scope_not_checked(self):
+        assert not _lint(self.BAD, "repro/parasitics/fake.py",
+                         "RPR203")
 
 
 class TestNoPrintRPR202:

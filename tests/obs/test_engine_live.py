@@ -1,0 +1,112 @@
+"""All five engines publish per-iteration events through the bus.
+
+The streams are live-only here — no tracer is active — so these tests
+also pin that live telemetry works without the post-mortem recorder
+(and vice versa: the engines guard on ``tracer.enabled or
+live.active()``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.annealing import SAParams, anneal_place
+from repro.eplace import EPlaceParams, eplace_global
+from repro.obs import live
+from repro.perf_driven.eplace_ap import EPlaceAPGlobalPlacer
+from repro.perf_driven.perf_xu import XuPerfGlobalPlacer
+from repro.xu_ispd19 import XuParams, xu_global
+
+
+class _StubModel:
+    """Duck-typed PerformanceModel: a smooth quadratic phi term."""
+
+    trust = 1.0
+
+    def __init__(self, circuit):
+        self.circuit = circuit
+
+    def phi(self, x, y):
+        return float(np.sum(x * x + y * y))
+
+    def phi_and_grad(self, x, y):
+        return self.phi(x, y), 2.0 * x, 2.0 * y
+
+
+def _progress_of(fn):
+    sub = live.CollectingSubscriber()
+    bus = live.EventBus()
+    bus.subscribe(sub)
+    with live.session(bus):
+        result = fn()
+    progress = [e for e in sub.events
+                if isinstance(e, live.ProgressEvent)]
+    return result, progress
+
+
+def test_eplace_a_streams_nesterov_iterations(comp1_circuit,
+                                              fast_gp_params):
+    result, progress = _progress_of(
+        lambda: eplace_global(comp1_circuit, fast_gp_params)
+    )
+    assert {e.phase for e in progress} == {"eplace.nesterov"}
+    assert len(progress) == result.stats["iterations"]
+    assert [e.iteration for e in progress] == \
+        list(range(1, len(progress) + 1))
+    for key in ("value", "overflow", "hpwl", "density_weight"):
+        assert key in progress[-1].values, key
+
+
+def test_xu_ispd19_streams_cg_and_stage_events(comp1_circuit):
+    params = XuParams(cg_iterations=30, stages=3)
+    _, progress = _progress_of(
+        lambda: xu_global(comp1_circuit, params)
+    )
+    phases = {e.phase for e in progress}
+    assert phases == {"xu.cg", "xu.stage"}
+    stages = [e for e in progress if e.phase == "xu.stage"]
+    assert len(stages) == params.stages
+    assert "hpwl" in stages[-1].values
+
+
+def test_annealing_streams_one_event_per_stage(comp1_circuit,
+                                               fast_sa_params):
+    _, progress = _progress_of(
+        lambda: anneal_place(comp1_circuit, fast_sa_params)
+    )
+    expected = -(-fast_sa_params.iterations //
+                 fast_sa_params.moves_per_temp)
+    assert {e.phase for e in progress} == {"sa.stage"}
+    assert len(progress) == expected
+    assert {"temperature", "cost", "best_cost"} <= set(
+        progress[0].values
+    )
+
+
+def test_eplace_ap_streams_through_base_loop(comp1_circuit,
+                                             fast_gp_params):
+    placer = EPlaceAPGlobalPlacer(
+        comp1_circuit, _StubModel(comp1_circuit), fast_gp_params
+    )
+    result, progress = _progress_of(placer.place)
+    assert {e.phase for e in progress} == {"eplace.nesterov"}
+    assert len(progress) == result.stats["iterations"]
+
+
+def test_perf_xu_streams_through_base_loop(comp1_circuit):
+    placer = XuPerfGlobalPlacer(
+        comp1_circuit, _StubModel(comp1_circuit),
+        XuParams(cg_iterations=20, stages=2),
+    )
+    _, progress = _progress_of(placer.place)
+    assert {e.phase for e in progress} >= {"xu.stage"}
+    assert len(
+        [e for e in progress if e.phase == "xu.stage"]
+    ) == 2
+
+
+def test_no_bus_no_events_published(comp1_circuit, fast_sa_params):
+    # guard direction: without a session, engines publish nothing and
+    # run exactly as before
+    result = anneal_place(comp1_circuit, fast_sa_params)
+    assert result.stats["best_cost"] > 0

@@ -1,0 +1,62 @@
+"""Monotonic-clock discipline: one epoch per tracer, absorb rebasing."""
+
+from __future__ import annotations
+
+from repro.obs import export, trace
+
+
+def test_tracer_captures_wall_clock_epoch_once():
+    tracer = trace.Tracer()
+    assert tracer.epoch_unix is not None
+    with trace.tracing() as active:
+        with trace.span("a"):
+            pass
+    assert active.to_trace().epoch_unix == active.epoch_unix
+
+
+def test_absorb_rebases_span_starts_onto_parent_clock():
+    parent = trace.Tracer()
+    worker = trace.Tracer()
+    with worker.span("worker.phase"):
+        pass
+    worker_trace = worker.to_trace()
+    # simulate a worker whose process started 100 s after the parent:
+    # its monotonic offsets are near zero but its epoch is later
+    worker_trace.epoch_unix = parent.epoch_unix + 100.0
+    original_start = worker_trace.spans[0].start
+    shift = worker_trace.epoch_unix - parent.epoch_unix
+    parent.absorb(worker_trace)
+    merged = parent.to_trace()
+    (span,) = merged.spans
+    assert span.start == original_start + shift
+    # absorbing mutates the merged copy only, on one timeline whose
+    # zero point is the parent's epoch
+    assert merged.epoch_unix == parent.epoch_unix
+
+
+def test_absorb_without_epoch_keeps_offsets():
+    parent = trace.Tracer()
+    worker = trace.Tracer()
+    with worker.span("legacy"):
+        pass
+    legacy = worker.to_trace()
+    legacy.epoch_unix = None  # pre-epoch export
+    start = legacy.spans[0].start
+    parent.absorb(legacy)
+    assert parent.to_trace().spans[0].start == start
+
+
+def test_export_round_trips_epoch(tmp_path):
+    with trace.tracing() as tracer:
+        with trace.span("a"):
+            pass
+    path = tmp_path / "trace.jsonl"
+    export.write_jsonl(tracer.to_trace(), path, method="test")
+    meta, reloaded = export.read_jsonl(path)
+    assert reloaded.epoch_unix == tracer.epoch_unix
+    # epoch is computed metadata, not caller context
+    assert "epoch_unix" not in meta
+    # re-export reproduces the original byte-for-byte
+    second = tmp_path / "again.jsonl"
+    export.write_jsonl(reloaded, second, **meta)
+    assert path.read_text() == second.read_text()

@@ -1,0 +1,193 @@
+"""Convergence racing: controller decisions and end-to-end kills."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import place_multiseed
+from repro.annealing import SAParams
+from repro.circuits import comp1
+from repro.obs import live
+from repro.obs.racing import RaceController, RaceResult, RacingParams
+
+
+class _FakeHandle:
+    def __init__(self):
+        self.cancelled: list[int] = []
+
+    def cancel(self, index: int) -> None:
+        self.cancelled.append(index)
+
+
+class TestRaceController:
+    def _publish_pair(self, bus, iteration, costs):
+        for source, cost in enumerate(costs):
+            bus.publish(live.ProgressEvent(
+                "p", iteration, {"cost": cost}, source
+            ))
+
+    def test_dominated_seed_killed_at_first_checkpoint(self):
+        bus = live.EventBus()
+        sub = live.CollectingSubscriber()
+        bus.subscribe(sub)
+        controller = RaceController(
+            RacingParams(warmup_frac=0.5, rel_tol=0.1, metric="cost"),
+            seeds=[10, 20], expected_iterations=4,
+        )
+        controller.attach(bus)
+        handle = _FakeHandle()
+        controller.bind(handle)
+        for iteration in range(1, 5):
+            self._publish_pair(bus, iteration, [1.0, 2.0])
+        assert [k.seed for k in controller.kills] == [20]
+        kill = controller.kills[0]
+        assert kill.iteration == 2  # warmup = ceil(0.5 * 4)
+        assert kill.value == 2.0 and kill.best == 1.0 and kill.landed
+        assert handle.cancelled == [1]
+        race_events = [e for e in sub.events
+                       if isinstance(e, live.RaceEvent)]
+        assert len(race_events) == 1
+        assert race_events[0].seed == 20 and race_events[0].task == 1
+        assert controller.winner_index() == 0
+
+    def test_no_kill_within_tolerance(self):
+        bus = live.EventBus()
+        controller = RaceController(
+            RacingParams(warmup_frac=0.5, rel_tol=0.5, metric="cost"),
+            seeds=[10, 20], expected_iterations=4,
+        )
+        controller.attach(bus)
+        for iteration in range(1, 5):
+            self._publish_pair(bus, iteration, [1.0, 1.2])
+        controller.finalize()
+        assert controller.kills == []
+
+    def test_min_survivors_floor(self):
+        bus = live.EventBus()
+        controller = RaceController(
+            RacingParams(warmup_frac=0.5, rel_tol=0.0, metric="cost",
+                         min_survivors=2),
+            seeds=[1, 2, 3], expected_iterations=2,
+        )
+        controller.attach(bus)
+        for iteration in range(1, 3):
+            for source, cost in enumerate([1.0, 2.0, 3.0]):
+                bus.publish(live.ProgressEvent(
+                    "p", iteration, {"cost": cost}, source
+                ))
+        controller.finalize()
+        # only one seed may die: 3 alive - min_survivors 2
+        assert [k.seed for k in controller.kills] == [3]
+
+    def test_barrier_waits_for_stragglers(self):
+        bus = live.EventBus()
+        controller = RaceController(
+            RacingParams(warmup_frac=0.5, rel_tol=0.1, metric="cost"),
+            seeds=[10, 20], expected_iterations=4,
+        )
+        controller.attach(bus)
+        handle = _FakeHandle()
+        controller.bind(handle)
+        # source 0 races ahead; nothing may be decided until source 1
+        # reports the checkpoint iteration
+        for iteration in range(1, 5):
+            bus.publish(live.ProgressEvent(
+                "p", iteration, {"cost": 1.0}, 0
+            ))
+        assert controller.kills == []
+        bus.publish(live.ProgressEvent("p", 2, {"cost": 5.0}, 1))
+        assert [k.task for k in controller.kills] == [1]
+
+    def test_metric_and_phase_autodetect(self):
+        bus = live.EventBus()
+        controller = RaceController(
+            RacingParams(warmup_frac=0.5, rel_tol=0.1),
+            seeds=[10, 20], expected_iterations=2,
+        )
+        controller.attach(bus)
+        for iteration in range(1, 3):
+            for source, cost in enumerate([1.0, 9.0]):
+                bus.publish(live.ProgressEvent(
+                    "sa.stage", iteration,
+                    {"temperature": 0.5, "best_cost": cost}, source
+                ))
+        assert controller.metric == "best_cost"
+        assert controller.phase == "sa.stage"
+        assert [k.task for k in controller.kills] == [1]
+
+    def test_expected_iterations_validated(self):
+        with pytest.raises(ValueError):
+            RaceController(RacingParams(), seeds=[1], expected_iterations=0)
+
+
+@pytest.fixture(scope="module")
+def comp1_sa():
+    return comp1(), SAParams(iterations=3000, moves_per_temp=100)
+
+
+class TestPlaceMultiseedRacing:
+    # dominated seed (3) last, so the inline kill provably lands
+    SEEDS = (1, 2, 4, 3)
+    PARAMS = RacingParams(warmup_frac=0.3, rel_tol=0.01)
+
+    def test_racing_saves_iterations_same_winner_quality(self, comp1_sa):
+        circuit, sa_params = comp1_sa
+        sub = live.CollectingSubscriber()
+        bus = live.EventBus()
+        bus.subscribe(sub)
+        with live.session(bus):
+            plain = place_multiseed(
+                circuit, "annealing", seeds=self.SEEDS,
+                params=sa_params,
+            )
+        plain_iters = sum(
+            isinstance(e, live.ProgressEvent) for e in sub.events
+        )
+
+        race = place_multiseed(
+            circuit, "annealing", seeds=self.SEEDS,
+            racing=self.PARAMS, params=sa_params,
+        )
+        assert isinstance(race, RaceResult)
+        # a dominated seed was provably killed mid-run ...
+        assert race.kills and any(k.landed for k in race.kills)
+        killed = race.killed_seeds
+        assert [s for s, r in zip(race.seeds, race.results)
+                if r is None] == killed
+        # ... so the race burned strictly fewer engine iterations ...
+        assert race.progress_events < plain_iters
+        # ... with identical winner quality
+        best_plain = min(r.stats["best_cost"] for r in plain)
+        assert race.winner.stats["best_cost"] == best_plain
+        assert race.metric == "best_cost"
+
+    def test_kill_set_and_winner_invariant_across_jobs(self, comp1_sa):
+        circuit, sa_params = comp1_sa
+        outcomes = []
+        for jobs in (1, 2):
+            race = place_multiseed(
+                circuit, "annealing", seeds=self.SEEDS, jobs=jobs,
+                racing=self.PARAMS, params=sa_params,
+            )
+            outcomes.append((
+                [(k.seed, k.iteration, k.value, k.best)
+                 for k in race.kills],
+                race.winner_index,
+                race.winner.stats["best_cost"],
+            ))
+        assert outcomes[0] == outcomes[1]
+
+    def test_racing_is_deterministic_across_repeats(self, comp1_sa):
+        circuit, sa_params = comp1_sa
+        runs = [
+            place_multiseed(
+                circuit, "annealing", seeds=self.SEEDS,
+                racing=self.PARAMS, params=sa_params,
+            )
+            for _ in range(2)
+        ]
+        assert [(k.seed, k.iteration) for k in runs[0].kills] == \
+            [(k.seed, k.iteration) for k in runs[1].kills]
+        assert runs[0].winner_index == runs[1].winner_index
+        assert runs[0].winner.stats["best_cost"] == \
+            runs[1].winner.stats["best_cost"]

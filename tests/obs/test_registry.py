@@ -1,0 +1,169 @@
+"""Run registry: directories, manifests, CLI list/show/compare/gc."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import live, trace
+from repro.obs.registry import (
+    DEFAULT_ROOT,
+    RegistryError,
+    RunRegistry,
+)
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return RunRegistry(tmp_path / "runs")
+
+
+class TestRegistryCore:
+    def test_create_writes_running_manifest(self, registry):
+        writer = registry.create("place", "Comp1:annealing",
+                                 config={"seed": 3})
+        manifest_path = writer.path / "manifest.json"
+        assert manifest_path.is_file()
+        doc = json.loads(manifest_path.read_text())
+        assert doc["schema"] == "repro.run/1"
+        assert doc["status"] == "running"  # crash-visible
+        assert doc["kind"] == "place"
+        assert doc["config"] == {"seed": 3}
+        assert doc["run_id"] == writer.run_id
+
+    def test_finalize_flushes_metrics_and_events(self, registry):
+        writer = registry.create("place", "x")
+        bus = live.EventBus()
+        bus.subscribe(writer.event_subscriber())
+        bus.publish(live.ProgressEvent("p", 1, {"hpwl": 2.0}, 0))
+        bus.publish(live.RaceEvent("kill", seed=2, task=1,
+                                   iteration=3, value=2.0, best=1.0))
+        writer.finalize(metrics={"hpwl": 2.0, "note": "text"})
+        (run,) = registry.list_runs()
+        assert run.status == "complete"
+        # only numeric metrics summarise into the manifest
+        assert run.metrics == {"hpwl": 2.0}
+        lines = (writer.path / "events.jsonl").read_text().splitlines()
+        events = [live.event_from_record(json.loads(line))
+                  for line in lines]
+        assert isinstance(events[0], live.ProgressEvent)
+        assert isinstance(events[1], live.RaceEvent)
+        assert events[0].values == {"hpwl": 2.0}
+
+    def test_write_trace_emits_convergence_series(self, registry):
+        with trace.tracing() as tracer:
+            with trace.span("engine"):
+                for i in range(3):
+                    tracer.record("engine.loop", i, hpwl=float(10 - i))
+        writer = registry.create("place", "x")
+        count = writer.write_trace(tracer.to_trace(), method="test")
+        assert count > 0
+        doc = json.loads(
+            (writer.path / "convergence.json").read_text()
+        )
+        series = doc["phases"]["engine.loop"]
+        assert series["iterations"] == [0, 1, 2]
+        assert series["values"]["hpwl"] == [10.0, 9.0, 8.0]
+
+    def test_same_config_same_fingerprint(self, registry):
+        a = registry.create("place", "x", config={"seed": 1})
+        b = registry.create("place", "x", config={"seed": 1})
+        c = registry.create("place", "x", config={"seed": 2})
+        fp = lambda w: w.run_id.rsplit("-", 1)[1].split(".")[0]  # noqa: E731
+        assert fp(a) == fp(b)
+        assert fp(a) != fp(c)
+        assert a.run_id != b.run_id  # disambiguated directories
+
+    def test_resolve_exact_prefix_latest_and_errors(self, registry):
+        with pytest.raises(RegistryError):
+            registry.resolve("latest")  # empty registry
+        first = registry.create("place", "x", config={"seed": 1})
+        first.finalize()
+        second = registry.create("bench", "y", config={"seed": 2})
+        second.finalize()
+        assert registry.resolve("latest").run_id == second.run_id
+        assert registry.resolve(first.run_id).run_id == first.run_id
+        with pytest.raises(RegistryError):
+            registry.resolve("nosuchrun")
+        with pytest.raises(RegistryError):
+            registry.resolve("2")  # ambiguous prefix (both stamps)
+
+    def test_gc_keeps_newest(self, registry):
+        ids = []
+        for seed in range(4):
+            writer = registry.create("place", "x",
+                                     config={"seed": seed})
+            writer.finalize()
+            ids.append(writer.run_id)
+        would = registry.gc(keep=2, dry_run=True)
+        assert [r.run_id for r in would] == ids[:2]
+        assert len(registry.list_runs()) == 4  # dry run: untouched
+        deleted = registry.gc(keep=2)
+        assert [r.run_id for r in deleted] == ids[:2]
+        assert [r.run_id for r in registry.list_runs()] == ids[2:]
+
+    def test_env_root_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "custom"))
+        assert RunRegistry().root == tmp_path / "custom"
+        monkeypatch.delenv("REPRO_RUNS_DIR")
+        assert str(RunRegistry().root) == DEFAULT_ROOT
+
+
+class TestRunsCli:
+    @pytest.fixture
+    def recorded(self, tmp_path, monkeypatch):
+        """Two real --save-run place runs under a temp registry."""
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "runs"))
+        for seed in ("3", "7"):
+            rc = main([
+                "place", "comp1", "--method", "annealing",
+                "--sa-iterations", "1000", "--seed", seed,
+                "--save-run",
+            ])
+            assert rc == 0
+        return tmp_path / "runs"
+
+    def test_save_run_records_artifacts(self, recorded, capsys):
+        capsys.readouterr()
+        runs = sorted(p for p in recorded.iterdir() if p.is_dir())
+        assert len(runs) == 2
+        for run in runs:
+            names = {p.name for p in run.iterdir()}
+            assert {"manifest.json", "trace.jsonl", "metrics.json",
+                    "convergence.json", "events.jsonl"} <= names
+
+    def test_list_show_compare_gc(self, recorded, capsys):
+        capsys.readouterr()
+        assert main(["runs", "list"]) == 0
+        listing = capsys.readouterr().out
+        assert listing.count("Comp1:annealing") == 2
+        assert "hpwl=" in listing
+
+        assert main(["runs", "show", "latest"]) == 0
+        shown = capsys.readouterr().out
+        assert "status   : complete" in shown
+        assert "sa.stage" in shown
+        assert "events.jsonl" in shown
+
+        base = sorted(p.name for p in recorded.iterdir())[0]
+        assert main(["runs", "compare", base, "latest"]) == 0
+        compared = capsys.readouterr().out
+        assert "hpwl" in compared and "delta" in compared
+
+        assert main(["runs", "gc", "--keep", "1", "--dry-run"]) == 0
+        assert len(list(recorded.iterdir())) == 2
+        assert main(["runs", "gc", "--keep", "1"]) == 0
+        assert len(list(recorded.iterdir())) == 1
+
+    def test_unknown_run_exits_2(self, recorded, capsys):
+        capsys.readouterr()
+        assert main(["runs", "show", "nosuchrun"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_explicit_root_flag(self, recorded, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_RUNS_DIR")
+        capsys.readouterr()
+        assert main(["runs", "--root", str(recorded), "list"]) == 0
+        assert "Comp1:annealing" in capsys.readouterr().out
