@@ -18,7 +18,22 @@ Rule families (ids are stable; see ``--list-rules`` for summaries):
 * ``RPR2xx`` observability contract — engine entry points without a
   span (RPR201), ``print`` in library code (RPR202);
 * ``RPR3xx`` API hygiene — public ``repro.api``/``repro.placement``
-  callables missing type hints or docstrings (RPR301).
+  callables missing type hints or docstrings (RPR301);
+* ``RPR004``/``RPR005`` interprocedural determinism taint — public
+  entry points *transitively* reaching a wall-clock read / unseeded
+  RNG through the whole-program call graph (the direct call sites are
+  RPR001/RPR002's job; these print the full call chain);
+* ``RPR4xx`` concurrency — bare ``lock.acquire()`` (RPR401), process
+  forks reachable while a sampler/thread is live or a module-level
+  lock is held (RPR402), unsynchronized shared-state writes in thread
+  targets (RPR403), lock-acquisition-order cycles across the call
+  graph (RPR404).
+
+The whole-program rules are built on :mod:`repro.lint.graph` — a
+cross-module symbol table and call graph with conservative fallback
+binding for dynamic calls — and are complemented at runtime by the
+:mod:`repro.sanitize` race sanitizer (``REPRO_SANITIZE=1``).  See
+``docs/STATIC_ANALYSIS.md`` for the full design.
 
 Suppress a finding inline with ``# repro-lint: disable=RPR101`` (one
 line) or ``# repro-lint: disable-file=RPR301`` (whole file); every
@@ -30,6 +45,7 @@ from . import rules  # noqa: F401  (importing registers every rule)
 from .core import (
     REGISTRY,
     Finding,
+    GraphRule,
     LintConfig,
     ModuleInfo,
     Rule,
@@ -37,11 +53,13 @@ from .core import (
     lint_module,
     lint_paths,
     lint_source,
+    lint_sources,
     register,
 )
 
 __all__ = [
     "Finding",
+    "GraphRule",
     "LintConfig",
     "ModuleInfo",
     "REGISTRY",
@@ -50,6 +68,7 @@ __all__ = [
     "lint_module",
     "lint_paths",
     "lint_source",
+    "lint_sources",
     "register",
     "rules",
 ]

@@ -1,0 +1,138 @@
+"""Incremental lint cache keyed by file content sha256.
+
+The deep (whole-program) lint is the slowest part of CI's static
+checks: every file must be parsed and summarised before the call graph
+can be built.  Almost all of that work is redundant between runs — a
+PR touches a handful of files.  This cache stores, per file, the
+content fingerprint, the per-module findings (for *all* registered
+rules, so one cache serves any ``--select``), and the JSON-serialised
+:class:`repro.lint.graph.ModuleSummary`.  On a warm run an unchanged
+file contributes its cached summary to the project graph without
+being re-parsed; whole-program rules always re-run over the summaries
+because an edit in one file can create a finding in another.
+
+The fingerprint idiom follows ``repro.gnn.batched.FeatureCache``:
+sha256 hex digests, truncated, compared for exact equality.  The
+cache additionally carries a *signature* of the rule registry and the
+summary schema version — any rule change or extractor change
+invalidates the whole cache rather than risking stale findings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any
+
+from .core import REGISTRY, Finding
+from .graph import SUMMARY_VERSION, ModuleSummary
+
+#: on-disk schema version for the cache file itself
+_CACHE_FORMAT = 1
+
+#: default cache location, relative to the working directory
+DEFAULT_CACHE_PATH = ".repro-lint-cache.json"
+
+
+def _fingerprint(source: str) -> str:
+    """Content fingerprint of one source file."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()[:32]
+
+
+def registry_signature() -> str:
+    """Fingerprint of the rule registry and summary schema.
+
+    Includes rule ids, their class names and their scopes, so adding,
+    removing or re-scoping a rule invalidates every cached entry.
+    """
+    parts: list[str] = [f"format={_CACHE_FORMAT}",
+                        f"summary={SUMMARY_VERSION}"]
+    for rule_id in sorted(REGISTRY):
+        rule = REGISTRY[rule_id]
+        parts.append(
+            f"{rule_id}:{type(rule).__name__}:"
+            f"{','.join(rule.scopes)}:{','.join(rule.excludes)}"
+        )
+    return hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()[:32]
+
+
+class LintCache:
+    """Per-file findings + module summaries keyed by content hash.
+
+    Lifecycle: construct (loads the file if present and signature
+    matches), :meth:`lookup` / :meth:`store` during the run,
+    :meth:`save` once at the end (no-op when nothing changed).
+    """
+
+    def __init__(self, path: str | Path = DEFAULT_CACHE_PATH) -> None:
+        self.path = Path(path)
+        self.signature = registry_signature()
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+        self._entries: dict[str, dict[str, Any]] = {}
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            raw = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(raw, dict):
+            return
+        if raw.get("signature") != self.signature:
+            return  # rules or schema changed: start cold
+        entries = raw.get("entries")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    def lookup(
+        self, key: str, source: str
+    ) -> tuple[list[Finding], ModuleSummary] | None:
+        """Cached (findings, summary) when ``source`` is unchanged."""
+        entry = self._entries.get(key)
+        if entry is None or entry.get("sha") != _fingerprint(source):
+            self.misses += 1
+            return None
+        try:
+            findings = [
+                Finding.from_dict(item) for item in entry["findings"]
+            ]
+            summary = ModuleSummary.from_dict(entry["summary"])
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return findings, summary
+
+    def store(
+        self,
+        key: str,
+        source: str,
+        findings: list[Finding],
+        summary: ModuleSummary,
+    ) -> None:
+        """Record one freshly-analysed file."""
+        self._entries[key] = {
+            "sha": _fingerprint(source),
+            "findings": [f.to_dict() for f in findings],
+            "summary": summary.to_dict(),
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        """Write the cache back when anything changed this run."""
+        if not self._dirty:
+            return
+        payload = {
+            "signature": self.signature,
+            "entries": self._entries,
+        }
+        try:
+            self.path.write_text(
+                json.dumps(payload, sort_keys=True), encoding="utf-8"
+            )
+        except OSError:
+            return  # a read-only checkout just runs cold next time
+        self._dirty = False

@@ -1,0 +1,147 @@
+"""Shared call-name patterns used by both per-file and graph rules.
+
+The determinism rules (:mod:`repro.lint.rules.determinism`) and the
+whole-program analyzer (:mod:`repro.lint.graph`) must agree on what
+counts as a wall-clock read, an unseeded RNG construction, a fork
+primitive or a lock-like object — otherwise the per-file rule and its
+interprocedural upgrade would drift apart.  This module owns those
+pattern sets and has no intra-package imports, so it can be imported
+from anywhere in ``repro.lint`` without cycles.
+"""
+
+from __future__ import annotations
+
+import ast
+
+#: wall-clock reads that make runs time-dependent (RPR001/RPR004)
+WALLCLOCK = frozenset({
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+})
+
+#: legacy numpy global-state RNG entry points (never allowed)
+NUMPY_GLOBAL_RNG = frozenset({
+    "seed", "rand", "randn", "randint", "random", "random_sample",
+    "ranf", "sample", "choice", "shuffle", "permutation", "uniform",
+    "normal", "standard_normal", "exponential", "poisson", "beta",
+    "binomial", "bytes", "get_state", "set_state",
+})
+
+#: stdlib ``random`` module-level functions (global-state RNG)
+STDLIB_GLOBAL_RNG = frozenset({
+    "seed", "random", "randint", "randrange", "choice", "choices",
+    "shuffle", "sample", "uniform", "gauss", "normalvariate",
+    "betavariate", "expovariate", "triangular", "getrandbits",
+})
+
+
+def classify_rng_call(dotted: str, node: ast.Call) -> "str | None":
+    """Violation text for a globally-stateful/unseeded RNG call.
+
+    ``dotted`` is the resolved dotted name of the call target; returns
+    ``None`` for calls that are not RNG violations (seeded
+    constructions included).
+    """
+    parts = dotted.split(".")
+    if dotted.startswith("numpy.random."):
+        leaf = parts[-1]
+        if leaf in NUMPY_GLOBAL_RNG:
+            return (
+                f"global numpy RNG {dotted}(); use a seeded "
+                "np.random.default_rng(seed) passed down explicitly"
+            )
+        if leaf == "default_rng" and not node.args and not node.keywords:
+            return (
+                "np.random.default_rng() without a seed is "
+                "OS-entropy-seeded; pass an explicit seed"
+            )
+        if leaf in {"Generator", "RandomState"} and not node.args:
+            return (
+                f"{dotted}() without an explicit seed source; "
+                "construct from a seeded SeedSequence/BitGenerator"
+            )
+    elif parts[0] == "random" and len(parts) == 2:
+        leaf = parts[1]
+        if leaf in STDLIB_GLOBAL_RNG:
+            return (
+                f"global stdlib RNG {dotted}(); use "
+                "random.Random(seed) or np.random.default_rng(seed)"
+            )
+        if leaf in {"Random", "SystemRandom"} and not node.args:
+            return (
+                f"{dotted}() without a seed argument is "
+                "entropy-seeded and non-reproducible"
+            )
+    return None
+
+
+def classify_wallclock(dotted: str) -> "str | None":
+    """Violation text for a wall-clock read, or ``None``."""
+    if dotted in WALLCLOCK:
+        return f"wall-clock read {dotted}()"
+    return None
+
+
+#: final attribute names whose call creates worker *processes* (the
+#: fork side of the fork-after-thread hazard).  ``get_context`` and
+#: ``Pool`` objects funnel through these in this codebase.
+FORK_CALL_ATTRS = frozenset({
+    "ProcessPoolExecutor",
+    "Process",
+    "fork",
+})
+
+#: the sanctioned guard: fork primitives lexically inside a
+#: ``with ...suspend_samplers():`` block are considered safe (the
+#: guard stops live sampler threads across the fork, see
+#: repro.obs.live.suspend_samplers)
+FORK_GUARD_ATTRS = frozenset({"suspend_samplers"})
+
+#: constructor attribute names that start (or will start) a background
+#: thread hazardous to fork with
+SAMPLER_CLASS_ATTRS = frozenset({"ResourceSampler"})
+THREAD_CLASS_ATTRS = frozenset({"Thread"})
+
+#: lock constructors recognised for module-level / instance lock
+#: discovery (``sanitize.make_lock`` returns one of these)
+LOCK_CTOR_ATTRS = frozenset({"Lock", "RLock", "make_lock"})
+
+#: method names that mutate a container in place (RPR403)
+MUTATOR_ATTRS = frozenset({
+    "append", "extend", "insert", "add", "discard", "remove", "pop",
+    "popitem", "popleft", "appendleft", "clear", "update",
+    "setdefault", "sort", "reverse",
+})
+
+
+def is_lock_like(node: ast.expr) -> bool:
+    """Heuristic: does this ``with`` context expression look like a lock?
+
+    Matches plain names/attributes whose final component contains
+    ``lock`` or ``mutex`` (``_lock``, ``self._lock``, ``mod.IO_LOCK``).
+    Call expressions are excluded — ``with tracer.span(...)`` is not a
+    lock region.
+    """
+    leaf: "str | None" = None
+    if isinstance(node, ast.Attribute):
+        leaf = node.attr
+    elif isinstance(node, ast.Name):
+        leaf = node.id
+    if leaf is None:
+        return False
+    lowered = leaf.lower()
+    return "lock" in lowered or "mutex" in lowered
+
+
+def last_component(dotted: str) -> str:
+    """Final path component of a dotted name."""
+    return dotted.rsplit(".", 1)[-1]

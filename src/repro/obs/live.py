@@ -65,6 +65,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from .. import sanitize
+
 #: union of the event types carried by the bus (kept informal so
 #: subscribers can be written against duck-typed ``source`` access)
 Event = Any
@@ -169,7 +171,7 @@ class EventBus:
     ) -> None:
         self.source = source
         self.cancel_check = cancel_check
-        self._lock = threading.Lock()
+        self._lock = sanitize.make_lock("obs.live.EventBus")
         self._subscribers: "tuple[Callable[[Event], None], ...]" = ()
         self.published = 0
 
@@ -334,6 +336,13 @@ def _read_rss_kib() -> "tuple[float, bool]":
         return float(usage.ru_maxrss), True
 
 
+#: all samplers between ``start()`` and ``stop()`` — what
+#: :func:`suspend_samplers` pauses across a fork.  Guarded by its own
+#: lock; never held while pausing/resuming (joins happen outside).
+_SAMPLERS_LOCK = threading.Lock()
+_SAMPLERS: "list[ResourceSampler]" = []
+
+
 class ResourceSampler:
     """Daemon thread publishing :class:`ResourceSample` events.
 
@@ -344,6 +353,12 @@ class ResourceSampler:
 
         with live.session() as bus, live.ResourceSampler(bus, 0.25):
             place(circuit)
+
+    A sampler thread must never be alive while ``repro.parallel``
+    forks (the child would inherit the thread's locks mid-publish but
+    not the thread); :func:`suspend_samplers` pauses every registered
+    sampler for the duration of a fork and resumes it after,
+    preserving the cumulative ``elapsed_s`` clock.
     """
 
     def __init__(self, bus: EventBus, interval: float = 0.5) -> None:
@@ -354,6 +369,9 @@ class ResourceSampler:
         self.samples = 0
         self._stop = threading.Event()
         self._thread: "threading.Thread | None" = None
+        #: elapsed seconds accumulated across pause/resume cycles
+        self._elapsed_base = 0.0
+        self._started_at = 0.0
 
     def _run(self) -> None:
         start = time.perf_counter()
@@ -361,7 +379,9 @@ class ResourceSampler:
             rss_kib, is_peak = _read_rss_kib()
             times = os.times()
             self.bus.publish(ResourceSample(
-                elapsed_s=time.perf_counter() - start,
+                elapsed_s=(
+                    self._elapsed_base + time.perf_counter() - start
+                ),
                 rss_kib=rss_kib,
                 cpu_s=times.user + times.system,
                 rss_is_peak=is_peak,
@@ -370,22 +390,58 @@ class ResourceSampler:
             self.samples += 1
             self._stop.wait(self.interval)
 
+    @property
+    def running(self) -> bool:
+        """True while the sampling thread is alive (not paused)."""
+        return self._thread is not None
+
+    def _spawn(self) -> None:
+        self._stop = threading.Event()
+        self._started_at = time.perf_counter()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-resource-sampler",
+            daemon=True,
+        )
+        self._thread.start()
+
     def start(self) -> "ResourceSampler":
         """Start the daemon sampling thread (idempotent)."""
         if self._thread is None:
-            self._thread = threading.Thread(
-                target=self._run, name="repro-resource-sampler",
-                daemon=True,
-            )
-            self._thread.start()
+            self._spawn()
+            with _SAMPLERS_LOCK:
+                if self not in _SAMPLERS:
+                    _SAMPLERS.append(self)
         return self
 
+    def pause(self) -> None:
+        """Stop the thread, keeping the elapsed clock and registration.
+
+        A paused sampler stays in the suspend registry; :meth:`resume`
+        restarts sampling with ``elapsed_s`` continuing where it
+        stopped.  No-op when not running.
+        """
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout=5.0)
+        self._thread = None
+        self._elapsed_base += time.perf_counter() - self._started_at
+
+    def resume(self) -> None:
+        """Restart sampling after :meth:`pause` (no-op when running)."""
+        if self._thread is None:
+            self._spawn()
+
     def stop(self) -> None:
-        """Stop sampling and join the thread."""
+        """Stop sampling, join the thread and deregister."""
         self._stop.set()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
+        with _SAMPLERS_LOCK:
+            if self in _SAMPLERS:
+                _SAMPLERS.remove(self)
 
     def __enter__(self) -> "ResourceSampler":
         return self.start()
@@ -393,6 +449,27 @@ class ResourceSampler:
     def __exit__(self, *exc: object) -> bool:
         self.stop()
         return False
+
+
+@contextmanager
+def suspend_samplers() -> "Iterator[None]":
+    """Pause every running sampler for the block, then resume them.
+
+    This is the sanctioned fork guard: ``repro.parallel`` wraps each
+    fork primitive in it, so no sampler thread is alive at fork time
+    (the static rule RPR402 recognises the pattern and the runtime
+    sanitizer asserts it).  Nested use is safe — the inner block sees
+    the samplers already paused and touches nothing.
+    """
+    with _SAMPLERS_LOCK:
+        paused = [s for s in _SAMPLERS if s.running]
+    for sampler in paused:
+        sampler.pause()
+    try:
+        yield
+    finally:
+        for sampler in paused:
+            sampler.resume()
 
 
 # ---------------------------------------------------------------------------

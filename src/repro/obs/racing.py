@@ -38,6 +38,7 @@ from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Any, Sequence
 
+from .. import sanitize
 from . import live
 from .log import get_logger
 
@@ -188,7 +189,11 @@ class RaceController:
         self.expected_iterations = int(expected_iterations)
         self.metric: "str | None" = params.metric
         self.phase: "str | None" = params.phase
-        self.kills: "list[KillRecord]" = []
+        # registered with the race sanitizer: kill decisions must all
+        # be taken on the parent's event-dispatch thread
+        self.kills: "list[KillRecord]" = sanitize.shared_list(
+            "racing.RaceController.kills"
+        )
         self.progress_events = 0
         self._handle: "Any | None" = None
         self._bus: "live.EventBus | None" = None

@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable
 
+from .. import sanitize
 from . import live as live_mod
 from .env import fingerprint, iso_timestamp, utc_timestamp
 from .export import write_jsonl
@@ -168,13 +169,22 @@ class RunWriter:
 
 class _EventSink:
     """Buffering bus subscriber behind
-    :meth:`RunWriter.event_subscriber`."""
+    :meth:`RunWriter.event_subscriber`.
+
+    Appends arrive from whichever thread publishes on the bus — the
+    engine thread for progress/phase events *and* the sampler thread
+    for resource samples — so the buffer is guarded by a sanitized
+    lock (a plain lock in production, an order-tracked one under
+    ``REPRO_SANITIZE=1``).
+    """
 
     def __init__(self) -> None:
+        self._lock = sanitize.make_lock("obs.registry._EventSink")
         self.events: "list[Any]" = []
 
     def __call__(self, event: Any) -> None:
-        self.events.append(event)
+        with self._lock:
+            self.events.append(event)
 
     def flush(self, path: Path) -> None:
         with open(path, "w") as handle:

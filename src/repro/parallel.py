@@ -53,6 +53,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence, TypeVar
 
+from . import sanitize
 from .obs import live
 from .obs.log import get_logger
 
@@ -101,10 +102,15 @@ def parallel_map(
     logger.info(
         "parallel map: %d tasks on %d workers", len(items), workers
     )
-    with ProcessPoolExecutor(
-        max_workers=workers, mp_context=context
-    ) as pool:
-        return list(pool.map(fn, items, chunksize=1))
+    # no sampler thread may be alive while the pool forks: a forked
+    # child would inherit the thread's locks mid-publish but not the
+    # thread itself (see RPR402 / docs/STATIC_ANALYSIS.md)
+    with live.suspend_samplers():
+        sanitize.check_fork_safety()
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=context
+        ) as pool:
+            return list(pool.map(fn, items, chunksize=1))
 
 
 # ---------------------------------------------------------------------------
@@ -268,13 +274,17 @@ def parallel_map_live(
     dead_polls = 0
     while (next_task < n or running) and failure is None:
         while len(running) < workers and next_task < n:
-            proc = context.Process(
-                target=_live_worker,
-                args=(fn, next_task, items[next_task],
-                      channel, tokens[next_task]),
-                daemon=True,
-            )
-            proc.start()
+            # pause samplers only around the fork itself so resource
+            # telemetry keeps flowing while workers run
+            with live.suspend_samplers():
+                sanitize.check_fork_safety()
+                proc = context.Process(
+                    target=_live_worker,
+                    args=(fn, next_task, items[next_task],
+                          channel, tokens[next_task]),
+                    daemon=True,
+                )
+                proc.start()
             running[next_task] = proc
             next_task += 1
         try:

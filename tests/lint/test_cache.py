@@ -1,0 +1,143 @@
+"""Incremental cache: warm/cold equivalence and invalidation."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.lint.cache import LintCache, registry_signature
+from repro.lint.core import lint_paths
+
+_ENGINE = textwrap.dedent(
+    """
+    import time
+
+    def run():
+        return time.perf_counter()
+    """
+)
+
+_CLEAN = textwrap.dedent(
+    """
+    def run(x):
+        return x
+    """
+)
+
+
+def _tree(tmp_path, source=_ENGINE):
+    pkg = tmp_path / "repro" / "eplace"
+    pkg.mkdir(parents=True, exist_ok=True)
+    (pkg / "fake.py").write_text(source)
+    return tmp_path
+
+
+class TestWarmCold:
+    def test_warm_run_reproduces_cold_findings(self, tmp_path):
+        tree = _tree(tmp_path)
+        cache_file = tmp_path / "cache.json"
+
+        cold_cache = LintCache(cache_file)
+        cold, errs = lint_paths([tree], cache=cold_cache)
+        assert errs == []
+        assert cold_cache.misses == 1 and cold_cache.hits == 0
+
+        warm_cache = LintCache(cache_file)
+        warm, errs = lint_paths([tree], cache=warm_cache)
+        assert errs == []
+        assert warm_cache.hits == 1 and warm_cache.misses == 0
+        assert [f.to_dict() for f in warm] == [
+            f.to_dict() for f in cold
+        ]
+        assert warm  # the fixture really does violate RPR001
+
+    def test_select_filter_applied_on_cached_findings(self, tmp_path):
+        # findings are cached for ALL rules; a later narrower --select
+        # must still filter, not replay the full cached set
+        tree = _tree(tmp_path)
+        cache_file = tmp_path / "cache.json"
+        lint_paths([tree], cache=LintCache(cache_file))
+
+        warm_cache = LintCache(cache_file)
+        findings, _ = lint_paths(
+            [tree], select=frozenset({"RPR202"}), cache=warm_cache
+        )
+        assert warm_cache.hits == 1
+        assert {f.rule for f in findings} == set()  # no print() here
+
+    def test_graph_findings_come_from_cached_summaries(self, tmp_path):
+        # a cross-module RPR004 chain must survive a fully-warm run,
+        # i.e. summaries round-trip through the cache well enough to
+        # rebuild the call graph without re-parsing anything
+        pkg = tmp_path / "repro" / "eplace"
+        pkg.mkdir(parents=True)
+        (pkg / "entry.py").write_text(textwrap.dedent(
+            """
+            from repro.eplace import util
+
+            def place(circuit):
+                return util._stamp(circuit)
+            """
+        ))
+        (pkg / "util.py").write_text(textwrap.dedent(
+            """
+            import time
+
+            def _stamp(circuit):
+                return time.time(), circuit
+            """
+        ))
+        cache_file = tmp_path / "cache.json"
+        cold, _ = lint_paths([tmp_path], cache=LintCache(cache_file))
+
+        warm_cache = LintCache(cache_file)
+        warm, _ = lint_paths([tmp_path], cache=warm_cache)
+        assert warm_cache.hits == 2 and warm_cache.misses == 0
+        assert {f.rule for f in warm} >= {"RPR004"}
+        assert [f.to_dict() for f in warm] == [
+            f.to_dict() for f in cold
+        ]
+        taint = next(f for f in warm if f.rule == "RPR004")
+        assert taint.chain  # chain reconstructed from cached summary
+
+
+class TestInvalidation:
+    def test_content_change_misses(self, tmp_path):
+        tree = _tree(tmp_path)
+        cache_file = tmp_path / "cache.json"
+        lint_paths([tree], cache=LintCache(cache_file))
+
+        _tree(tmp_path, _CLEAN)  # rewrite the module
+        cache = LintCache(cache_file)
+        findings, _ = lint_paths([tree], cache=cache)
+        assert cache.misses == 1 and cache.hits == 0
+        assert findings == []
+
+    def test_signature_mismatch_discards_cache(self, tmp_path):
+        tree = _tree(tmp_path)
+        cache_file = tmp_path / "cache.json"
+        lint_paths([tree], cache=LintCache(cache_file))
+
+        payload = json.loads(cache_file.read_text())
+        payload["signature"] = "stale"
+        cache_file.write_text(json.dumps(payload))
+
+        cache = LintCache(cache_file)
+        lint_paths([tree], cache=cache)
+        assert cache.misses == 1 and cache.hits == 0
+
+    def test_corrupt_cache_file_tolerated(self, tmp_path):
+        tree = _tree(tmp_path)
+        cache_file = tmp_path / "cache.json"
+        cache_file.write_text("{not json")
+        findings, errs = lint_paths(
+            [tree], cache=LintCache(cache_file)
+        )
+        assert errs == []
+        assert findings
+
+    def test_signature_is_deterministic(self):
+        sig = registry_signature()
+        assert sig == registry_signature()
+        assert len(sig) == 32
+        int(sig, 16)  # hex digest

@@ -7,6 +7,7 @@ satisfies its own static-analysis contract.
 
 from __future__ import annotations
 
+import json
 import pathlib
 import textwrap
 
@@ -83,6 +84,76 @@ class TestCli:
         bad.write_text("def oops(:\n")
         assert main([str(tmp_path)]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestJsonFormat:
+    def test_json_document_schema(self, bad_tree, capsys):
+        assert main(
+            [str(bad_tree), "--format", "json", "--no-cache"]
+        ) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.lint.findings/1"
+        assert doc["errors"] == []
+        assert {f["rule"] for f in doc["findings"]} == {
+            "RPR001", "RPR202"
+        }
+        for finding in doc["findings"]:
+            assert set(finding) == {
+                "rule", "path", "line", "col", "message", "chain"
+            }
+            assert finding["path"].endswith("fake.py")
+            assert isinstance(finding["line"], int)
+
+    def test_json_clean_run(self, tmp_path, capsys):
+        pkg = tmp_path / "repro"
+        pkg.mkdir()
+        (pkg / "ok.py").write_text("def _f(x):\n    return x\n")
+        assert main(
+            [str(tmp_path), "--format", "json", "--no-cache"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["findings"] == [] and doc["errors"] == []
+
+
+class TestBaseline:
+    def test_baseline_blocks_only_new_findings(
+        self, bad_tree, tmp_path, capsys
+    ):
+        baseline = tmp_path / "baseline.json"
+        assert main(
+            [str(bad_tree), "--write-baseline", str(baseline),
+             "--no-cache"]
+        ) == 0
+        assert baseline.exists()
+
+        # unchanged tree: every finding is baselined, run passes
+        assert main(
+            [str(bad_tree), "--baseline", str(baseline), "--no-cache"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "0 findings" in out
+        assert "2 baselined" in out
+
+        # introduce a NEW violation: only it is reported
+        target = bad_tree / "repro" / "eplace" / "fake.py"
+        target.write_text(
+            target.read_text() + "\n\ndef loud():\n    print('x')\n"
+        )
+        assert main(
+            [str(bad_tree), "--baseline", str(baseline), "--no-cache"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "RPR202" in out
+        assert "1 finding " in out
+
+    def test_malformed_baseline_rejected(self, bad_tree, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text('{"findings": "nope"}')
+        with pytest.raises(SystemExit, match="findings document"):
+            main(
+                [str(bad_tree), "--baseline", str(baseline),
+                 "--no-cache"]
+            )
 
 
 class TestSuppression:

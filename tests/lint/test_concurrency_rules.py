@@ -1,0 +1,497 @@
+"""Failing and clean fixtures for the whole-program rule families.
+
+RPR004/RPR005 (interprocedural determinism taint) and RPR401–RPR404
+(concurrency) go through :func:`repro.lint.core.lint_sources`, which
+runs the full pipeline — per-module rules, summary extraction, graph
+binding — over a dict of synthetic modules, so cross-module chains
+are exercised exactly as `python -m repro.lint src` would see them.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint.core import lint_source, lint_sources
+
+
+def _lint(sources: dict[str, str], rule: str) -> list:
+    return lint_sources(
+        {
+            rel: textwrap.dedent(src)
+            for rel, src in sources.items()
+        },
+        select=[rule],
+    )
+
+
+class TestWallClockTaintRPR004:
+    BAD = {
+        "repro/eplace/entry.py": """
+            from repro.eplace import util
+
+            def place(circuit):
+                return util._stamp(circuit)
+        """,
+        "repro/eplace/util.py": """
+            import time
+
+            def _stamp(circuit):
+                return time.time(), circuit
+        """,
+    }
+
+    def test_flags_public_entry_with_chain(self):
+        findings = _lint(self.BAD, "RPR004")
+        assert [f.rule for f in findings] == ["RPR004"]
+        finding = findings[0]
+        assert finding.path == "repro/eplace/entry.py"
+        assert "repro.eplace.entry.place" in finding.message
+        assert finding.chain
+        assert finding.chain[-1] == "wall-clock read time.time()"
+        assert any("util._stamp" in step for step in finding.chain)
+
+    def test_public_intermediate_is_the_anchor(self):
+        # when a *public* helper sits between the entry point and the
+        # clock read, the helper is the nearest public ancestor and
+        # gets the finding; the entry point above it stays clean
+        sources = {
+            "repro/eplace/entry.py": """
+                from repro.eplace import util
+
+                def place(circuit):
+                    return util.stamp(circuit)
+            """,
+            "repro/eplace/util.py": """
+                import time
+
+                def stamp(circuit):
+                    return _now(), circuit
+
+                def _now():
+                    return time.time()
+            """,
+        }
+        findings = _lint(sources, "RPR004")
+        assert [f.path for f in findings] == ["repro/eplace/util.py"]
+        assert "repro.eplace.util.stamp" in findings[0].message
+
+    def test_clean_when_clock_stays_in_obs(self):
+        sources = {
+            "repro/eplace/entry.py": """
+                from repro.obs import timer
+
+                def place(circuit):
+                    return timer.elapsed(), circuit
+            """,
+            "repro/obs/timer.py": """
+                import time
+
+                def elapsed():
+                    return time.perf_counter()
+            """,
+        }
+        assert not _lint(sources, "RPR004")
+
+    def test_nearest_public_ancestor_only(self):
+        # two public hops: only the innermost public function on the
+        # chain is flagged, not every public caller above it
+        sources = {
+            "repro/api.py": """
+                from repro.eplace import entry
+
+                def place(circuit):
+                    return entry.place(circuit)
+            """,
+            "repro/eplace/entry.py": """
+                import time
+
+                def place(circuit):
+                    return _stamp(circuit)
+
+                def _stamp(circuit):
+                    return time.time(), circuit
+            """,
+        }
+        findings = _lint(sources, "RPR004")
+        assert [f.path for f in findings] == ["repro/eplace/entry.py"]
+
+
+class TestRngTaintRPR005:
+    def test_flags_laundered_unseeded_rng(self):
+        sources = {
+            "repro/annealing/entry.py": """
+                from repro.annealing import noise
+
+                def anneal(circuit):
+                    return noise.jitter(circuit)
+            """,
+            "repro/annealing/noise.py": """
+                import numpy as np
+
+                def jitter(circuit):
+                    return _rng().random(), circuit
+
+                def _rng():
+                    return np.random.default_rng()
+            """,
+        }
+        findings = _lint(sources, "RPR005")
+        assert findings
+        assert findings[0].rule == "RPR005"
+        assert findings[0].chain
+
+    def test_clean_seeded_rng_chain(self):
+        sources = {
+            "repro/annealing/entry.py": """
+                from repro.annealing import noise
+
+                def anneal(circuit, seed):
+                    return noise.jitter(circuit, seed)
+            """,
+            "repro/annealing/noise.py": """
+                import numpy as np
+
+                def jitter(circuit, seed):
+                    return np.random.default_rng(seed).random(), circuit
+            """,
+        }
+        assert not _lint(sources, "RPR005")
+
+
+class TestBareAcquireRPR401:
+    def test_flags_bare_acquire(self):
+        src = """
+            import threading
+
+            _lock = threading.Lock()
+
+            def update(value):
+                _lock.acquire()
+                STATE = value
+                _lock.release()
+        """
+        findings = lint_source(
+            textwrap.dedent(src), "repro/obs/fake.py",
+            select=["RPR401"],
+        )
+        assert [f.rule for f in findings] == ["RPR401"]
+        assert "with lock" in findings[0].message
+
+    def test_clean_with_statement(self):
+        src = """
+            import threading
+
+            _lock = threading.Lock()
+
+            def update(value):
+                with _lock:
+                    return value
+        """
+        assert not lint_source(
+            textwrap.dedent(src), "repro/obs/fake.py",
+            select=["RPR401"],
+        )
+
+    def test_clean_try_finally_release(self):
+        src = """
+            import threading
+
+            _lock = threading.Lock()
+
+            def update(value):
+                _lock.acquire()
+                try:
+                    return value
+                finally:
+                    _lock.release()
+        """
+        assert not lint_source(
+            textwrap.dedent(src), "repro/obs/fake.py",
+            select=["RPR401"],
+        )
+
+
+class TestForkAfterThreadRPR402:
+    def test_flags_direct_fork_with_live_sampler(self):
+        sources = {
+            "repro/runner.py": """
+                from concurrent.futures import ProcessPoolExecutor
+                from repro.obs.live import ResourceSampler
+
+                def run(bus, tasks):
+                    sampler = ResourceSampler(bus)
+                    sampler.start()
+                    with ProcessPoolExecutor(max_workers=2) as pool:
+                        out = list(pool.map(str, tasks))
+                    sampler.stop()
+                    return out
+            """,
+        }
+        findings = _lint(sources, "RPR402")
+        assert findings
+        assert findings[0].rule == "RPR402"
+        assert "sampler" in findings[0].message
+
+    def test_flags_transitive_fork_with_chain(self):
+        sources = {
+            "repro/runner.py": """
+                from repro import fanout
+                from repro.obs.live import ResourceSampler
+
+                def run(bus, tasks):
+                    sampler = ResourceSampler(bus)
+                    sampler.start()
+                    out = fanout.spread(tasks)
+                    sampler.stop()
+                    return out
+            """,
+            "repro/fanout.py": """
+                from concurrent.futures import ProcessPoolExecutor
+
+                def spread(tasks):
+                    with ProcessPoolExecutor(max_workers=2) as pool:
+                        return list(pool.map(str, tasks))
+            """,
+        }
+        findings = _lint(sources, "RPR402")
+        assert findings
+        finding = findings[0]
+        assert finding.path == "repro/runner.py"
+        assert finding.chain
+        assert any("fanout.spread" in step for step in finding.chain)
+
+    def test_clean_when_stopped_before_fork(self):
+        sources = {
+            "repro/runner.py": """
+                from concurrent.futures import ProcessPoolExecutor
+                from repro.obs.live import ResourceSampler
+
+                def run(bus, tasks):
+                    sampler = ResourceSampler(bus)
+                    sampler.start()
+                    sampler.stop()
+                    with ProcessPoolExecutor(max_workers=2) as pool:
+                        return list(pool.map(str, tasks))
+            """,
+        }
+        assert not _lint(sources, "RPR402")
+
+    def test_clean_when_fork_guarded(self):
+        sources = {
+            "repro/runner.py": """
+                from concurrent.futures import ProcessPoolExecutor
+                from repro.obs import live
+
+                def run(bus, tasks):
+                    with live.ResourceSampler(bus):
+                        with live.suspend_samplers():
+                            with ProcessPoolExecutor() as pool:
+                                return list(pool.map(str, tasks))
+            """,
+        }
+        assert not _lint(sources, "RPR402")
+
+    def test_flags_fork_under_module_lock(self):
+        sources = {
+            "repro/runner.py": """
+                import threading
+                from concurrent.futures import ProcessPoolExecutor
+
+                _io_lock = threading.Lock()
+
+                def run(tasks):
+                    with _io_lock:
+                        with ProcessPoolExecutor() as pool:
+                            return list(pool.map(str, tasks))
+            """,
+        }
+        findings = _lint(sources, "RPR402")
+        assert findings
+        assert "lock" in findings[0].message
+
+
+class TestThreadSharedMutationRPR403:
+    def test_flags_unlocked_global_write(self):
+        src = """
+            import threading
+
+            _events = []
+
+            def _worker():
+                _events.append(1)
+
+            def start():
+                thread = threading.Thread(target=_worker)
+                thread.start()
+                return thread
+        """
+        findings = lint_source(
+            textwrap.dedent(src), "repro/obs/fake.py",
+            select=["RPR403"],
+        )
+        assert [f.rule for f in findings] == ["RPR403"]
+        assert "_events" in findings[0].message
+
+    def test_flags_unlocked_global_rebind(self):
+        src = """
+            import threading
+
+            _state = None
+
+            def _worker():
+                global _state
+                _state = 1
+
+            def start():
+                return threading.Thread(target=_worker)
+        """
+        findings = lint_source(
+            textwrap.dedent(src), "repro/obs/fake.py",
+            select=["RPR403"],
+        )
+        assert [f.rule for f in findings] == ["RPR403"]
+
+    def test_clean_locked_write(self):
+        src = """
+            import threading
+
+            _events = []
+            _lock = threading.Lock()
+
+            def _worker():
+                with _lock:
+                    _events.append(1)
+
+            def start():
+                return threading.Thread(target=_worker)
+        """
+        assert not lint_source(
+            textwrap.dedent(src), "repro/obs/fake.py",
+            select=["RPR403"],
+        )
+
+    def test_clean_instance_state(self):
+        src = """
+            import threading
+
+            class Sampler:
+                def __init__(self):
+                    self.samples = []
+                    self._thread = threading.Thread(target=self._run)
+
+                def _run(self):
+                    self.samples.append(1)
+        """
+        assert not lint_source(
+            textwrap.dedent(src), "repro/obs/fake.py",
+            select=["RPR403"],
+        )
+
+
+class TestLockOrderRPR404:
+    #: the synthetic two-lock deadlock: one module nests A then B,
+    #: another nests B then A through a cross-module call
+    DEADLOCK = {
+        "repro/m1.py": """
+            import threading
+
+            A_LOCK = threading.Lock()
+            B_LOCK = threading.Lock()
+
+            def forward():
+                with A_LOCK:
+                    with B_LOCK:
+                        return 1
+        """,
+        "repro/m2.py": """
+            from repro.m1 import A_LOCK, B_LOCK
+
+            def backward():
+                with B_LOCK:
+                    with A_LOCK:
+                        return 2
+        """,
+    }
+
+    def test_flags_two_lock_cycle(self):
+        findings = _lint(self.DEADLOCK, "RPR404")
+        assert findings
+        finding = findings[0]
+        assert finding.rule == "RPR404"
+        assert "A_LOCK" in finding.message
+        assert "B_LOCK" in finding.message
+        assert finding.chain  # the edges forming the cycle
+
+    def test_flags_cycle_through_call_graph(self):
+        sources = {
+            "repro/m1.py": """
+                import threading
+
+                A_LOCK = threading.Lock()
+                B_LOCK = threading.Lock()
+
+                def forward():
+                    with A_LOCK:
+                        take_b()
+
+                def take_b():
+                    with B_LOCK:
+                        return 1
+            """,
+            "repro/m2.py": """
+                from repro.m1 import A_LOCK, B_LOCK
+
+                def backward():
+                    with B_LOCK:
+                        take_a()
+
+                def take_a():
+                    with A_LOCK:
+                        return 2
+            """,
+        }
+        findings = _lint(sources, "RPR404")
+        assert findings
+        assert findings[0].rule == "RPR404"
+
+    def test_clean_consistent_order(self):
+        sources = {
+            "repro/m1.py": """
+                import threading
+
+                A_LOCK = threading.Lock()
+                B_LOCK = threading.Lock()
+
+                def forward():
+                    with A_LOCK:
+                        with B_LOCK:
+                            return 1
+            """,
+            "repro/m2.py": """
+                from repro.m1 import A_LOCK, B_LOCK
+
+                def also_forward():
+                    with A_LOCK:
+                        with B_LOCK:
+                            return 2
+            """,
+        }
+        assert not _lint(sources, "RPR404")
+
+
+class TestSuppression:
+    def test_graph_finding_respects_line_suppression(self):
+        sources = {
+            "repro/runner.py": """
+                import threading
+                from concurrent.futures import ProcessPoolExecutor
+
+                _io_lock = threading.Lock()
+
+                def run(tasks):
+                    with _io_lock:
+                        with ProcessPoolExecutor() as pool:  # repro-lint: disable=RPR402
+                            return list(pool.map(str, tasks))
+            """,
+        }
+        assert not _lint(sources, "RPR402")

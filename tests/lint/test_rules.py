@@ -24,10 +24,11 @@ def _rule_ids(findings: list) -> set[str]:
 class TestRegistry:
     def test_expected_rules_registered(self):
         assert set(REGISTRY) == {
-            "RPR001", "RPR002", "RPR003",
+            "RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
             "RPR101", "RPR102",
             "RPR201", "RPR202", "RPR203",
             "RPR301",
+            "RPR401", "RPR402", "RPR403", "RPR404",
         }
 
     def test_rules_have_metadata(self):
