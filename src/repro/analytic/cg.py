@@ -37,22 +37,27 @@ def _armijo(
     alpha0: float,
     c1: float = 1e-4,
     max_halvings: int = 20,
-) -> tuple[np.ndarray, float, float]:
-    """Backtracking line search; returns ``(v_new, value_new, alpha)``."""
+) -> tuple[np.ndarray, float, float, int]:
+    """Backtracking line search.
+
+    Returns ``(v_new, value_new, alpha, halvings)`` where ``halvings``
+    counts the backtracking steps the search needed — zero means the
+    doubled previous step was immediately acceptable.
+    """
     slope = float(np.dot(grad, direction))
     if slope >= 0.0:  # not a descent direction: fall back to steepest
         direction = -grad
         slope = -float(np.dot(grad, grad))
     alpha = alpha0
-    for _ in range(max_halvings):
+    for halvings in range(max_halvings):
         candidate = v + alpha * direction
         value_c, _ = objective(candidate)
         if value_c <= value + c1 * alpha * slope:
-            return candidate, value_c, alpha
+            return candidate, value_c, alpha, halvings
         alpha *= 0.5
     candidate = v + alpha * direction
     value_c, _ = objective(candidate)
-    return candidate, value_c, alpha
+    return candidate, value_c, alpha, max_halvings
 
 
 def conjugate_gradient(
@@ -61,7 +66,7 @@ def conjugate_gradient(
     iterations: int = 200,
     tol: float = 1e-6,
     alpha0: float = 1.0,
-    callback: Callable[[int, float, float, float], None] | None = None,
+    callback: Callable[..., None] | None = None,
 ) -> CGResult:
     """Minimise ``objective`` from ``v0`` with PR+ conjugate gradient.
 
@@ -70,32 +75,37 @@ def conjugate_gradient(
     the scale of the landscape is known.
 
     ``callback``, when given, is invoked after every *accepted* step as
-    ``callback(iteration, value, grad_norm, step_length)`` — the hook
-    the convergence recorder uses; ``None`` (the default) costs
-    nothing.
+    ``callback(iteration, value, grad_norm, step_length, halvings,
+    restarts)`` — ``halvings`` is the line-search backtrack count for
+    this step and ``restarts`` the cumulative steepest-descent /
+    conjugacy resets so far, the solver internals the health channel
+    publishes; ``None`` (the default) costs nothing.
     """
     v = np.asarray(v0, dtype=float).copy()
     value, grad = objective(v)
     direction = -grad
     alpha = alpha0
     iteration = 0
+    restarts = 0
     for iteration in range(1, iterations + 1):
         grad_norm = float(np.linalg.norm(grad))
         if grad_norm < tol:
             return CGResult(v, value, grad_norm, iteration - 1, True)
-        v_new, value_new, alpha_used = _armijo(
+        v_new, value_new, alpha_used, halvings = _armijo(
             objective, v, value, grad, direction, alpha
         )
         if not np.isfinite(value_new) or value_new > value:
             # rejected step: restart from steepest descent, smaller step
             direction = -grad
             alpha = max(alpha * 0.25, 1e-15)
+            restarts += 1
             continue
         _, grad_new = objective(v_new)
         if callback is not None:
             callback(
                 iteration, value_new,
                 float(np.linalg.norm(grad_new)), alpha_used,
+                halvings, restarts,
             )
         # Polak-Ribiere+ coefficient with automatic reset
         y = grad_new - grad
@@ -109,6 +119,7 @@ def conjugate_gradient(
         if not np.isfinite(dir_norm) or dir_norm > 1e6 * max(new_norm,
                                                              1e-12):
             direction = -grad_new  # runaway conjugacy: reset
+            restarts += 1
         v, value, grad = v_new, value_new, grad_new
         alpha = max(alpha_used * 2.0, 1e-12)
     return CGResult(v, value, float(np.linalg.norm(grad)), iteration, False)

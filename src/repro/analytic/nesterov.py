@@ -26,13 +26,21 @@ Projection = Callable[[np.ndarray], np.ndarray]
 
 @dataclass
 class StepInfo:
-    """Telemetry for one Nesterov step."""
+    """Telemetry for one Nesterov step.
+
+    ``step_predicted`` is the inverse-Lipschitz step before the
+    backtracking line search touched it and ``backtracks`` counts the
+    halvings it took — together they say how often the local curvature
+    estimate overshoots (the health channel publishes both).
+    """
 
     iteration: int
     value: float
     grad_norm: float
     step_length: float
     restarted: bool
+    step_predicted: float = 0.0
+    backtracks: int = 0
 
 
 class NesterovOptimizer:
@@ -90,17 +98,20 @@ class NesterovOptimizer:
         value_u, grad_u = self.objective(self.u)
         grad_norm = float(np.linalg.norm(grad_u))
         alpha = self._lipschitz_alpha(grad_u)
+        alpha_predicted = alpha
 
         # backtracking on the major solution: require simple descent
         # relative to the reference value (Armijo-like with c=0.25)
         v_new = None
         value_new = np.inf
-        for _ in range(self.backtrack + 1):
+        backtracks = 0
+        for attempt in range(self.backtrack + 1):
             candidate = self.projection(self.u - alpha * grad_u)
             value_c, _ = self.objective(candidate)
             if value_c <= value_u - 0.25 * alpha * grad_norm ** 2 \
                     or grad_norm == 0.0:
                 v_new, value_new = candidate, value_c
+                backtracks = attempt
                 break
             alpha *= 0.5
         if v_new is None:  # objective too rough locally: take tiny step
@@ -131,6 +142,8 @@ class NesterovOptimizer:
             grad_norm=grad_norm,
             step_length=alpha,
             restarted=restarted,
+            step_predicted=alpha_predicted,
+            backtracks=backtracks,
         )
 
     # ------------------------------------------------------------------

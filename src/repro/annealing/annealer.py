@@ -31,7 +31,7 @@ import numpy as np
 
 from ..analytic import NetArrays
 from ..netlist import Axis, Circuit
-from ..obs import live, memory, metrics, trace
+from ..obs import diagnose, health, live, memory, metrics, trace
 from ..obs.log import get_logger
 from ..placement import Placement, PlacerResult
 
@@ -44,6 +44,12 @@ from .islands import (
     reorder_island,
 )
 from .seqpair import SequencePair
+
+#: solver internals published on the health channel each stage
+HEALTH_FIELDS = (
+    "accept_rate", "temperature", "dirty_nets", "evaluated",
+    "full_evals",
+)
 
 #: optional extra cost hook: maps a candidate Placement to a scalar
 CostHook = Callable[[Placement], float]
@@ -454,6 +460,7 @@ class SimulatedAnnealingPlacer:
             result = self._place(tracer, clock)
         metrics.counter("repro.sa_placements").inc()
         result.trace = tracer.to_trace()  # now includes the root span
+        diagnose.attach(result)
         return result
 
     def _place(
@@ -502,6 +509,7 @@ class SimulatedAnnealingPlacer:
         temperature = t0
         accepted = 0
         evaluated = 0
+        last_dirty = evaluator.dirty_nets
         # the iteration budget is consumed in temperature stages of
         # ``moves_per_temp`` moves; the trailing partial stage (when
         # ``iterations`` is not a multiple) does not decay, matching
@@ -552,6 +560,23 @@ class SimulatedAnnealingPlacer:
                 )
                 tracer.record("sa.stage", stage, **values)
                 live.progress("sa.stage", stage, **values)
+                hvalues = dict(
+                    accept_rate=(
+                        stage_accepted / max(stage_evaluated, 1)
+                    ),
+                    temperature=temperature,
+                    dirty_nets=float(
+                        evaluator.dirty_nets - last_dirty
+                    ),
+                    evaluated=float(stage_evaluated),
+                    full_evals=float(evaluator.full_evals),
+                )
+                last_dirty = evaluator.dirty_nets
+                tracer.record(
+                    "sa.stage" + health.HEALTH_SUFFIX,
+                    stage, **hvalues,
+                )
+                health.sample("sa.stage", stage, **hvalues)
             if stage_moves == p.moves_per_temp:
                 temperature *= decay
             stage += 1

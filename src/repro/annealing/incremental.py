@@ -184,6 +184,7 @@ class IncrementalCostEvaluator:
         self.audits = 0
         self.incremental_evals = 0
         self.full_evals = 0
+        self.dirty_nets = 0  # cumulative nets re-spanned incrementally
 
         n = circuit.num_devices
         self._dev_block = np.zeros(n, dtype=int)
@@ -339,6 +340,7 @@ class IncrementalCostEvaluator:
             # packing (bx/by, shared via the shallow copy) is still
             # valid and the dirty-net set is the precomputed one
             n_dirty = self._block_net_count[k]
+            self.dirty_nets += int(n_dirty)
             if n_dirty == 0:
                 pass  # spans shared via the shallow copy
             elif n_dirty >= self.arrays.num_nets * \
@@ -506,6 +508,7 @@ class IncrementalCostEvaluator:
             moved[self._pin_block], a.starts
         )
         n_dirty = int(np.count_nonzero(net_dirty))
+        self.dirty_nets += n_dirty
         if n_dirty == 0:
             return cur.spans
         if n_dirty >= a.num_nets * FULL_RECOMPUTE_FRACTION:

@@ -30,7 +30,7 @@ from .eplace import EPlaceParams, eplace_global
 from .legalize import DetailedParams, detailed_place, \
     lp_two_stage_detailed_placement
 from .netlist import Circuit
-from .obs import live, metrics, trace, tracing
+from .obs import diagnose, live, metrics, trace, tracing
 from .obs.racing import RaceController, RaceResult, RacingParams
 from .parallel import CancelledTask, parallel_map, parallel_map_live
 from .placement import PlacerResult
@@ -53,7 +53,7 @@ def place_eplace_a(
             utilization=0.8, eta=0.3))
         dp = detailed_place(gp.placement, dp_params)
     metrics.counter("repro.placements").inc()
-    return PlacerResult(
+    result = PlacerResult(
         placement=dp.placement,
         runtime_s=clock.elapsed(),
         method="eplace-a",
@@ -61,6 +61,8 @@ def place_eplace_a(
                "gp_runtime_s": gp.runtime_s, "dp_runtime_s": dp.runtime_s},
         trace=tracer.to_trace(),
     )
+    diagnose.attach(result)
+    return result
 
 
 def place_xu_ispd19(
@@ -76,7 +78,7 @@ def place_xu_ispd19(
         dp_params = dp_params or DetailedParams(allow_flipping=False)
         dp = lp_two_stage_detailed_placement(gp.placement, dp_params)
     metrics.counter("repro.placements").inc()
-    return PlacerResult(
+    result = PlacerResult(
         placement=dp.placement,
         runtime_s=clock.elapsed(),
         method="xu-ispd19",
@@ -84,6 +86,8 @@ def place_xu_ispd19(
                "gp_runtime_s": gp.runtime_s, "dp_runtime_s": dp.runtime_s},
         trace=tracer.to_trace(),
     )
+    diagnose.attach(result)
+    return result
 
 
 def place_annealing(

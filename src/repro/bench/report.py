@@ -15,30 +15,11 @@ from typing import Any, Iterator
 
 import numpy as np
 
+from ..obs.report import SPARK_CHARS, sparkline
 from .artifact import runs_by_case
 
-#: eight-level unicode bars, low to high
-SPARK_CHARS = "▁▂▃▄▅▆▇█"
-
-
-def sparkline(values: list[float]) -> str:
-    """Render a numeric series as a fixed-height unicode sparkline."""
-    finite = [v for v in values if np.isfinite(v)]
-    if not finite:
-        return ""
-    lo, hi = min(finite), max(finite)
-    span = hi - lo
-    top = len(SPARK_CHARS) - 1
-    chars = []
-    for value in values:
-        if not np.isfinite(value):
-            chars.append(" ")
-            continue
-        level = top if span <= 0 else int(
-            round((value - lo) / span * top)
-        )
-        chars.append(SPARK_CHARS[level])
-    return "".join(chars)
+__all__ = ["SPARK_CHARS", "sparkline", "render_markdown",
+           "render_html"]
 
 
 def _mean_std(values: list[float]) -> tuple[float, float]:
@@ -73,6 +54,19 @@ def _case_mem(runs: list[dict]) -> "dict | None":
     return None
 
 
+def _case_health(runs: list[dict]) -> str:
+    """The case's convergence verdict (repeat-0 diagnosis), or em-dash.
+
+    Pre-diagnosis artifacts (no ``diagnosis`` run key) render the same
+    placeholder as a run without convergence records.
+    """
+    for run in runs:
+        doc = run.get("diagnosis")
+        if isinstance(doc, dict) and doc.get("verdict"):
+            return str(doc["verdict"])
+    return "—"
+
+
 def _fingerprint_lines(doc: dict) -> Iterator[str]:
     fp = doc["fingerprint"]
     sha = fp.get("git_sha") or "(no git)"
@@ -90,8 +84,8 @@ def _fingerprint_lines(doc: dict) -> Iterator[str]:
 
 def _summary_table(grouped: dict[str, list[dict]]) -> Iterator[str]:
     yield ("| case | repeats | runtime s (mean ± σ) | hpwl µm | "
-           "area µm² | overlap | peak mem KiB |")
-    yield "|---|---|---|---|---|---|---|"
+           "area µm² | overlap | peak mem KiB | health |")
+    yield "|---|---|---|---|---|---|---|---|"
     for key, runs in grouped.items():
         rt_mean, rt_std = _mean_std(
             [float(r["runtime_s"]) for r in runs]
@@ -108,7 +102,7 @@ def _summary_table(grouped: dict[str, list[dict]]) -> Iterator[str]:
         yield (
             f"| `{key}` | {len(runs)} | {rt_mean:.3f} ± {rt_std:.3f} "
             f"| {hpwl:.2f} | {area:.2f} | {overlap:.4f} "
-            f"| {mem_cell} |"
+            f"| {mem_cell} | {_case_health(runs)} |"
         )
 
 

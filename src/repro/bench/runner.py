@@ -28,7 +28,7 @@ from ..api import place
 from ..circuits import make
 from ..eplace import EPlaceParams
 from ..legalize import DetailedParams
-from ..obs import env, memory, tracing
+from ..obs import diagnose, env, memory, tracing
 from ..obs.log import get_logger
 from ..obs.trace import Trace
 from ..parallel import parallel_map
@@ -306,6 +306,10 @@ def run_case(
             "convergence": (
                 convergence_summary(trace, series_points)
                 if repeat == 0 else []
+            ),
+            "diagnosis": (
+                diagnose.diagnose_trace(trace).to_dict()
+                if repeat == 0 else None
             ),
         }
         records.append(record)

@@ -260,6 +260,49 @@ def _cmd_runs(args) -> int:
         return 2
 
 
+def _run_diagnosis(run):
+    """Best-available Diagnosis for a registry run, or ``None``.
+
+    Prefers the manifest's stored verdicts (schema ``repro.run/2``);
+    older runs fall back to recomputing from ``events.jsonl`` and then
+    ``trace.jsonl``, so ``doctor``/``--health`` work on ``repro.run/1``
+    directories too.
+    """
+    from .obs import diagnose
+    from .obs.report import load_events
+
+    doc = run.manifest.get("diagnosis")
+    if isinstance(doc, dict):
+        return diagnose.Diagnosis.from_dict(doc)
+    events = load_events(run.path / "events.jsonl")
+    if events:
+        diagnosis = diagnose.diagnose_events(events)
+        if diagnosis.phases:
+            return diagnosis
+    trace_path = run.path / "trace.jsonl"
+    if trace_path.is_file():
+        try:
+            _, trace = obs.read_jsonl(trace_path)
+        except (OSError, ValueError, KeyError):
+            return None
+        if trace.convergence:
+            return diagnose.diagnose_trace(trace)
+    return None
+
+
+def _echo_diagnosis(diagnosis) -> None:
+    _echo(f"verdict  : {diagnosis.verdict}")
+    for name in sorted(diagnosis.phases):
+        phase = diagnosis.phases[name]
+        fired = sorted(
+            check for check, hit in phase.checks.items() if hit
+        )
+        detail = f" [{', '.join(fired)}]" if fired else ""
+        metric = f" metric={phase.metric}" if phase.metric else ""
+        _echo(f"  {name:24s} {phase.verdict:17s} "
+              f"({phase.points} points{metric}){detail}")
+
+
 def _dispatch_runs(registry, args) -> int:
     if args.runs_command == "list":
         runs = registry.list_runs()
@@ -309,22 +352,65 @@ def _dispatch_runs(registry, args) -> int:
             _echo(f"file     : {entry.name} "
                   f"({entry.stat().st_size} B)")
         return 0
+    if args.runs_command == "doctor":
+        from .obs import diagnose
+
+        run = registry.resolve(args.run)
+        _echo(f"run      : {run.run_id}")
+        diagnosis = _run_diagnosis(run)
+        if diagnosis is None:
+            _echo("verdict  : insufficient-data "
+                  "(no convergence records)")
+            return 0
+        _echo_diagnosis(diagnosis)
+        return 0 if diagnosis.verdict in diagnose.HEALTHY_VERDICTS \
+            else 1
+    if args.runs_command == "report":
+        from .obs.report import render_run_html
+
+        run = registry.resolve(args.run)
+        html = render_run_html(run.path, run.manifest)
+        out = args.out or str(run.path / "report.html")
+        with open(out, "w") as handle:
+            handle.write(html)
+        _echo(f"report   : {out}")
+        return 0
     if args.runs_command == "compare":
         base = registry.resolve(args.base)
         head = registry.resolve(args.head)
         _echo(f"BASE {base.run_id} ({base.kind}: {base.label})")
         _echo(f"HEAD {head.run_id} ({head.kind}: {head.label})")
         keys = sorted(set(base.metrics) & set(head.metrics))
-        if not keys:
+        if not keys and not args.health:
             _echo("(no shared metric summary keys to compare)")
             return 0
-        _echo(f"{'metric':20s} {'base':>12s} {'head':>12s} "
-              f"{'delta':>8s}")
-        for key in keys:
-            a, b = base.metrics[key], head.metrics[key]
-            delta = (f"{100.0 * (b - a) / abs(a):+.1f}%"
-                     if a else "n/a")
-            _echo(f"{key:20s} {a:>12.5g} {b:>12.5g} {delta:>8s}")
+        if keys:
+            _echo(f"{'metric':20s} {'base':>12s} {'head':>12s} "
+                  f"{'delta':>8s}")
+            for key in keys:
+                a, b = base.metrics[key], head.metrics[key]
+                delta = (f"{100.0 * (b - a) / abs(a):+.1f}%"
+                         if a else "n/a")
+                _echo(f"{key:20s} {a:>12.5g} {b:>12.5g} {delta:>8s}")
+        if args.health:
+            diag_a = _run_diagnosis(base)
+            diag_b = _run_diagnosis(head)
+            verdict_a = diag_a.verdict if diag_a else "(none)"
+            verdict_b = diag_b.verdict if diag_b else "(none)"
+            marker = "" if verdict_a == verdict_b else "  *"
+            _echo(f"{'health':20s} {verdict_a:>17s} "
+                  f"{verdict_b:>17s}{marker}")
+            phases = sorted(
+                set(diag_a.phases if diag_a else {})
+                | set(diag_b.phases if diag_b else {})
+            )
+            for name in phases:
+                pa = diag_a.phases.get(name) if diag_a else None
+                pb = diag_b.phases.get(name) if diag_b else None
+                va = pa.verdict if pa else "(none)"
+                vb = pb.verdict if pb else "(none)"
+                marker = "" if va == vb else "  *"
+                _echo(f"  {name:18s} {va:>17s} {vb:>17s}{marker}")
         return 0
     if args.runs_command == "gc":
         victims = registry.gc(keep=args.keep, dry_run=args.dry_run)
@@ -448,6 +534,29 @@ def build_parser() -> argparse.ArgumentParser:
                         help="baseline run id/prefix/'latest'")
     p_rcmp.add_argument("head",
                         help="candidate run id/prefix/'latest'")
+    p_rcmp.add_argument(
+        "--health", action="store_true",
+        help="also diff the convergence-health verdicts per phase",
+    )
+    p_doc = runs_sub.add_parser(
+        "doctor",
+        help="print a run's convergence-health diagnosis "
+             "(exit 1 when unhealthy)",
+    )
+    p_doc.add_argument(
+        "run", help="run id, unique prefix, or 'latest'"
+    )
+    p_rep = runs_sub.add_parser(
+        "report",
+        help="render one run as a self-contained HTML report",
+    )
+    p_rep.add_argument(
+        "run", help="run id, unique prefix, or 'latest'"
+    )
+    p_rep.add_argument(
+        "--out", default=None,
+        help="output path (default: <run dir>/report.html)",
+    )
     p_gc = runs_sub.add_parser(
         "gc", help="delete all but the newest runs"
     )

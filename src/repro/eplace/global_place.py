@@ -24,13 +24,27 @@ from ..analytic import (
     wa_wirelength,
 )
 from ..netlist import Circuit
-from ..obs import live, memory, metrics, trace
+from ..obs import diagnose, health, live, memory, metrics, trace
 from ..obs.log import get_logger
 from ..placement import Placement, PlacerResult
 from .hard_symmetry import HardSymmetryMap
 from .params import EPlaceParams
 
 logger = get_logger("eplace")
+
+
+def _grad_norm(gx: np.ndarray, gy: np.ndarray) -> float:
+    """Euclidean norm of a stacked (gx, gy) gradient."""
+    return float(np.hypot(np.linalg.norm(gx), np.linalg.norm(gy)))
+
+
+#: solver internals published on the health channel each iteration
+HEALTH_FIELDS = (
+    "grad_norm", "grad_wl_norm", "grad_density_norm",
+    "grad_penalty_norm", "step_length", "step_predicted",
+    "backtracks", "restarted", "density_weight", "tau", "eta",
+    "overflow",
+)
 
 
 class EPlaceGlobalPlacer:
@@ -86,9 +100,11 @@ class EPlaceGlobalPlacer:
         """Full objective terms and gradient in device-coordinate space."""
         p = self.params
         gamma = self._gamma()
+        observing = trace.active() or live.active()
         with trace.timer("eplace.gp.wirelength"):
             value_w, gx, gy = wa_wirelength(self.arrays, x, y, gamma)
         value = value_w
+        wl_gnorm = _grad_norm(gx, gy) if observing else 0.0
 
         with trace.timer("eplace.gp.density"):
             value_n, dgx, dgy, overflow = \
@@ -97,6 +113,9 @@ class EPlaceGlobalPlacer:
         value += self._lambda * value_n
         gx = gx + self._lambda * dgx
         gy = gy + self._lambda * dgy
+        if observing:
+            den_gnorm = self._lambda * _grad_norm(dgx, dgy)
+            pre_pen_gx, pre_pen_gy = gx.copy(), gy.copy()
 
         value_a = 0.0
         if p.eta > 0.0:
@@ -121,7 +140,7 @@ class EPlaceGlobalPlacer:
         value += p.align_weight * value_al + p.order_weight * value_o
         gx += p.align_weight * algx + p.order_weight * ogx
         gy += p.align_weight * algy + p.order_weight * ogy
-        if trace.active():
+        if observing:
             # last-evaluation term values for the convergence recorder
             self._terms = {
                 "wirelength": float(value_w),
@@ -130,6 +149,16 @@ class EPlaceGlobalPlacer:
                 "symmetry": float(value_s),
                 "alignment": float(value_al),
                 "ordering": float(value_o),
+            }
+            # per-term gradient magnitudes for the health channel: the
+            # penalty norm covers everything added after density
+            # (area, symmetry, alignment, ordering)
+            self._health = {
+                "grad_wl_norm": wl_gnorm,
+                "grad_density_norm": den_gnorm,
+                "grad_penalty_norm": _grad_norm(
+                    gx - pre_pen_gx, gy - pre_pen_gy
+                ),
             }
         return value, gx, gy
 
@@ -185,6 +214,7 @@ class EPlaceGlobalPlacer:
             result = self._place(tracer, clock)
         metrics.counter("repro.global_placements").inc()
         result.trace = tracer.to_trace()  # now includes the root span
+        diagnose.attach(result)
         return result
 
     def _place(
@@ -257,6 +287,25 @@ class EPlaceGlobalPlacer:
                     )
                     live.progress(
                         "eplace.nesterov", iterations, **values
+                    )
+                    hvalues = dict(
+                        grad_norm=info.grad_norm,
+                        step_length=info.step_length,
+                        step_predicted=info.step_predicted,
+                        backtracks=float(info.backtracks),
+                        restarted=float(info.restarted),
+                        density_weight=self._lambda,
+                        tau=self._tau_scaled,
+                        eta=self._eta_scaled,
+                        overflow=self._overflow,
+                        **getattr(self, "_health", {}),
+                    )
+                    tracer.record(
+                        "eplace.nesterov" + health.HEALTH_SUFFIX,
+                        iterations, **hvalues,
+                    )
+                    health.sample(
+                        "eplace.nesterov", iterations, **hvalues
                     )
                 if (
                     iterations >= p.min_iters

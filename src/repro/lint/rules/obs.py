@@ -163,6 +163,54 @@ class LiveProgressRule(Rule):
                 )
 
 
+def _declares_health_fields(module: ModuleInfo) -> bool:
+    """Module-level ``HEALTH_FIELDS = (...)`` assignment present?"""
+    for stmt in module.tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, ast.AnnAssign):
+            targets = [stmt.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and (
+                target.id == "HEALTH_FIELDS"
+            ):
+                return True
+    return False
+
+
+@register
+class HealthChannelRule(Rule):
+    """RPR204: instrumented engines must publish health with progress."""
+
+    id = "RPR204"
+    name = "progress-publishes-health"
+    summary = (
+        "engine modules declaring HEALTH_FIELDS must pair every "
+        "live.progress(...) site with a health.sample(...) so the "
+        "health channel never lags the progress channel"
+    )
+    scopes = _ENGINE_SCOPES
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not _declares_health_fields(module):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            called = _called_names(node)
+            if "progress" in called and "sample" not in called:
+                yield self.finding(
+                    module, node,
+                    f"{node.name}() publishes progress but no health "
+                    "samples although this module declares "
+                    "HEALTH_FIELDS; pair live.progress(...) with "
+                    "health.sample(...)",
+                )
+
+
 @register
 class NoPrintRule(Rule):
     """RPR202: no ``print`` in library code."""

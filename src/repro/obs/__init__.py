@@ -25,11 +25,20 @@ See :mod:`repro.obs.trace` for the zero-overhead-when-disabled design,
 :mod:`repro.obs.metrics` for the always-on registry benchmarks consume.
 """
 
-from . import env, export, live, log, memory, metrics, racing, \
-    registry, trace
+from . import diagnose, env, export, health, live, log, memory, \
+    metrics, racing, registry, report, trace
+from .diagnose import (
+    DiagnoseParams,
+    Diagnosis,
+    PhaseDiagnosis,
+    StreamDiagnoser,
+    diagnose_events,
+    diagnose_trace,
+)
 from .env import fingerprint, utc_timestamp
 from .export import format_profile, read_jsonl, trace_records, \
     write_jsonl
+from .health import HealthSample
 from .live import (
     CancelledRun,
     CollectingSubscriber,
@@ -61,12 +70,16 @@ from .trace import (
 __all__ = [
     "CancelledRun",
     "CollectingSubscriber",
+    "DiagnoseParams",
+    "Diagnosis",
     "EventBus",
+    "HealthSample",
     "IterationRecord",
     "KillRecord",
     "MemoryProfile",
     "MetricsRegistry",
     "NULL_TRACER",
+    "PhaseDiagnosis",
     "PhaseEvent",
     "ProgressEvent",
     "REGISTRY",
@@ -81,14 +94,19 @@ __all__ = [
     "RunWriter",
     "SpanRecord",
     "Stopwatch",
+    "StreamDiagnoser",
     "Trace",
     "Tracer",
     "configure_logging",
+    "diagnose",
+    "diagnose_events",
+    "diagnose_trace",
     "env",
     "export",
     "fingerprint",
     "format_profile",
     "get_logger",
+    "health",
     "live",
     "log",
     "memory",
@@ -98,6 +116,7 @@ __all__ = [
     "racing",
     "read_jsonl",
     "registry",
+    "report",
     "snapshot",
     "trace",
     "trace_records",

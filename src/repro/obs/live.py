@@ -502,3 +502,22 @@ def event_from_record(record: dict) -> Event:
         raise ValueError(f"unknown live event kind {kind!r}")
     fields = {k: v for k, v in record.items() if k != "event"}
     return cls(**fields)
+
+
+def register_event_type(name: str, cls: type) -> None:
+    """Add an event dataclass to the events.jsonl (de)serialisation map.
+
+    Sibling modules defining their own bus event types (e.g. the
+    health channel in :mod:`repro.obs.health`) register them here at
+    import time so :func:`event_to_record` / :func:`event_from_record`
+    round-trip them like the built-in four.  Re-registering the same
+    name with the same class is a no-op; a conflicting class raises.
+    """
+    existing = _EVENT_TYPES.get(name)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"live event kind {name!r} already registered for "
+            f"{existing.__name__}"
+        )
+    _EVENT_TYPES[name] = cls
+    _TYPE_NAMES[cls] = name

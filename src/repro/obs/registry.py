@@ -6,11 +6,18 @@ as one run directory under a registry root (``REPRO_RUNS_DIR`` or
 re-running anything (``repro runs list|show|compare|gc``).  Layout::
 
     runs/<run_id>/
-        manifest.json      # schema repro.run/1: identity + summary
+        manifest.json      # schema repro.run/2: identity + summary
         trace.jsonl        # repro.obs.export span/convergence trace
         metrics.json       # quality metrics + metrics-registry snapshot
         convergence.json   # per-phase iteration series (plot-ready)
         events.jsonl       # live telemetry events (when a bus was on)
+
+Schema ``repro.run/2`` adds two manifest/metrics keys over ``/1``: the
+convergence ``diagnosis`` (:mod:`repro.obs.diagnose`) computed from
+the recorded trace, and a resource summary (``peak_rss_kib``,
+``mean_cpu``) aggregated from the run's ``ResourceSample`` events.
+Readers never require either key, so ``/1`` directories keep loading,
+listing and comparing unchanged.
 
 ``run_id`` is ``<UTC stamp>-<fp8>`` where ``fp8`` is the first 8 hex
 chars of a sha256 over the run's identity (kind, label, config) — the
@@ -38,6 +45,7 @@ from typing import Any, Callable
 
 from .. import sanitize
 from . import live as live_mod
+from .diagnose import diagnose_trace
 from .env import fingerprint, iso_timestamp, utc_timestamp
 from .export import write_jsonl
 from .log import get_logger
@@ -45,7 +53,7 @@ from .trace import Trace
 
 logger = get_logger("obs.registry")
 
-SCHEMA = "repro.run/1"
+SCHEMA = "repro.run/2"
 
 #: registry root environment override
 ROOT_ENV = "REPRO_RUNS_DIR"
@@ -114,8 +122,13 @@ class RunWriter:
     def write_trace(self, trace: Trace, **meta: object) -> int:
         """Persist ``trace`` as ``trace.jsonl`` plus its convergence
         series as plot-ready ``convergence.json``; returns the JSONL
-        record count."""
+        record count.  Also diagnoses the trace's convergence series
+        (:func:`repro.obs.diagnose.diagnose_trace`) into the manifest's
+        ``diagnosis`` key (written at :meth:`finalize`)."""
         count = write_jsonl(trace, self.path / "trace.jsonl", **meta)
+        if trace.convergence:
+            self._manifest["diagnosis"] = \
+                diagnose_trace(trace).to_dict()
         series: "dict[str, dict[str, list]]" = {}
         for record in trace.convergence:
             phase = series.setdefault(
@@ -157,6 +170,15 @@ class RunWriter:
     ) -> Path:
         """Write the final manifest (and buffered events); returns the
         run directory."""
+        if self._event_sink is not None:
+            # fold the sampled RSS/CPU figures into the metrics so
+            # ``runs list/show`` surface them without opening events
+            from .report import resource_summary
+
+            resources = resource_summary(self._event_sink.events)
+            if resources:
+                metrics = dict(metrics or {})
+                metrics.update(resources)
         if metrics:
             self.write_metrics(metrics)
         if self._event_sink is not None:

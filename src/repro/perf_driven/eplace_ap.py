@@ -17,6 +17,7 @@ import numpy as np
 from ..eplace import EPlaceGlobalPlacer, EPlaceParams
 from ..gnn import PerformanceModel
 from ..netlist import Circuit
+from ..obs import live, trace
 from ..placement import PlacerResult
 
 
@@ -60,6 +61,13 @@ class EPlaceAPGlobalPlacer(EPlaceGlobalPlacer):
         value += self._alpha_scaled * phi
         gx = gx + self._alpha_scaled * pgx
         gy = gy + self._alpha_scaled * pgy
+        if trace.active() or live.active():
+            # extend the base health terms with the GNN contribution
+            hterms = dict(getattr(self, "_health", {}))
+            hterms["grad_phi_norm"] = self._alpha_scaled * float(
+                np.hypot(np.linalg.norm(pgx), np.linalg.norm(pgy))
+            )
+            self._health = hterms
         return value, gx, gy
 
     def place(self) -> PlacerResult:

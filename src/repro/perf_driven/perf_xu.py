@@ -15,6 +15,7 @@ import numpy as np
 
 from ..gnn import PerformanceModel
 from ..netlist import Circuit
+from ..obs import live, trace
 from ..placement import PlacerResult
 from ..xu_ispd19 import XuGlobalPlacer, XuParams
 
@@ -60,6 +61,15 @@ class XuPerfGlobalPlacer(XuGlobalPlacer):
             phi, pgx, pgy = self.perf_model.phi_and_grad(v[:n], v[n:])
             value += self._alpha_scaled * phi
             grad = grad + self._alpha_scaled * np.concatenate([pgx, pgy])
+            if trace.active() or live.active():
+                # GNN-term contribution for the health channel
+                self._health = {
+                    "grad_phi_norm": self._alpha_scaled * float(
+                        np.hypot(
+                            np.linalg.norm(pgx), np.linalg.norm(pgy)
+                        )
+                    ),
+                }
             return value, grad
 
         return fun

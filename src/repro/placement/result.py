@@ -3,10 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..obs.trace import Trace
 from .metrics import summarize
 from .placement import Placement
+
+if TYPE_CHECKING:  # avoid a hard import edge placement -> diagnose
+    from ..obs.diagnose import Diagnosis
 
 
 @dataclass
@@ -23,6 +27,11 @@ class PlacerResult:
     data, ...) and is kept as the backward-compatible untyped view;
     phase-attributable timing now lives in ``trace``
     (:meth:`phase_times` / :meth:`repro.obs.Trace.stats_view`).
+
+    ``diagnosis`` is the streaming convergence verdict
+    (:class:`repro.obs.diagnose.Diagnosis`), attached by
+    :func:`repro.obs.diagnose.attach` when the run was traced; ``None``
+    for untraced runs.
     """
 
     placement: Placement
@@ -30,6 +39,7 @@ class PlacerResult:
     method: str
     stats: dict = field(default_factory=dict)
     trace: Trace = field(default_factory=Trace)
+    diagnosis: "Diagnosis | None" = None
 
     def metrics(self) -> dict[str, float]:
         """Exact quality metrics of the resulting placement.

@@ -23,11 +23,17 @@ from ..analytic import (
     lse_wirelength,
 )
 from ..netlist import Circuit
-from ..obs import live, memory, metrics, trace
+from ..obs import diagnose, health, live, memory, metrics, trace
 from ..obs.log import get_logger
 from ..placement import Placement, PlacerResult
 
 logger = get_logger("xu_ispd19")
+
+#: solver internals published on the health channel each CG step
+HEALTH_FIELDS = (
+    "residual", "step_length", "line_search_halvings", "restarts",
+    "density_weight",
+)
 
 
 @dataclass
@@ -139,6 +145,7 @@ class XuGlobalPlacer:
             result = self._place(tracer, clock)
         metrics.counter("repro.global_placements").inc()
         result.trace = tracer.to_trace()  # now includes the root span
+        diagnose.attach(result)
         return result
 
     def _place(
@@ -169,8 +176,9 @@ class XuGlobalPlacer:
                 base = stage * p.cg_iterations
                 lam_now = lam
 
-                def callback(it, value, grad_norm, step, _base=base,
-                             _stage=stage, _lam=lam_now):
+                def callback(it, value, grad_norm, step, halvings,
+                             restarts, _base=base, _stage=stage,
+                             _lam=lam_now):
                     values = dict(
                         stage=_stage, value=value,
                         grad_norm=grad_norm, step_length=step,
@@ -178,6 +186,18 @@ class XuGlobalPlacer:
                     )
                     tracer.record("xu.cg", _base + it, **values)
                     live.progress("xu.cg", _base + it, **values)
+                    hvalues = dict(
+                        residual=grad_norm, step_length=step,
+                        line_search_halvings=float(halvings),
+                        restarts=float(restarts),
+                        density_weight=_lam,
+                        **getattr(self, "_health", {}),
+                    )
+                    tracer.record(
+                        "xu.cg" + health.HEALTH_SUFFIX,
+                        _base + it, **hvalues,
+                    )
+                    health.sample("xu.cg", _base + it, **hvalues)
             with tracer.span("xu.gp.stage", stage=stage):
                 result = conjugate_gradient(
                     fun, v, iterations=p.cg_iterations, tol=1e-9,
@@ -195,6 +215,17 @@ class XuGlobalPlacer:
                 )
                 tracer.record("xu.stage", stage, **values)
                 live.progress("xu.stage", stage, **values)
+                hstage = dict(
+                    residual=result.grad_norm,
+                    cg_iterations=float(result.iterations),
+                    converged=float(result.converged),
+                    density_weight=lam,
+                )
+                tracer.record(
+                    "xu.stage" + health.HEALTH_SUFFIX,
+                    stage, **hstage,
+                )
+                health.sample("xu.stage", stage, **hstage)
             lam *= p.lambda_mult
 
         placement = Placement(self.circuit, v[:n], v[n:])

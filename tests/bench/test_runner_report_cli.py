@@ -101,6 +101,53 @@ def test_sparkline_shape():
     assert sparkline([2.0, 2.0]) == "██"  # flat series renders high
 
 
+def test_runs_carry_repeat0_diagnosis(unit_artifact):
+    from repro.obs.diagnose import VERDICTS
+
+    for runs in runs_by_case(unit_artifact).values():
+        doc = runs[0]["diagnosis"]
+        assert isinstance(doc, dict)
+        assert doc["verdict"] in VERDICTS
+        assert doc["phases"]
+
+
+def test_repeats_after_first_skip_diagnosis():
+    from .conftest import SuiteSpec
+
+    doc = run_suite(SuiteSpec(
+        name="repeat",
+        engines=["annealing"],
+        circuits=["Adder"],
+        seeds=[1],
+        repeats=2,
+        warmup=0,
+        params={"annealing": {"iterations": 300}},
+    ))
+    (runs,) = runs_by_case(doc).values()
+    assert isinstance(runs[0]["diagnosis"], dict)
+    assert runs[1]["diagnosis"] is None
+
+
+def test_summary_table_has_health_column(unit_artifact):
+    from repro.obs.diagnose import VERDICTS
+
+    text = render_markdown(unit_artifact)
+    lines = text.splitlines()
+    start = next(
+        i for i, line in enumerate(lines)
+        if line.startswith("| case |")
+    )
+    assert lines[start].endswith("| peak mem KiB | health |")
+    verdicts = []
+    for row in lines[start + 2:]:  # skip the |---| separator
+        if not row.startswith("|"):
+            break
+        verdicts.append(row.rsplit("|", 2)[-2].strip())
+    assert verdicts and all(v in VERDICTS for v in verdicts)
+    # the health column flows into the HTML rendering too
+    assert "<th>health</th>" in render_html(unit_artifact)
+
+
 def test_markdown_report_contents(unit_artifact):
     text = render_markdown(unit_artifact)
     assert "# Benchmark report — suite `unit`" in text

@@ -26,7 +26,7 @@ class TestRegistry:
         assert set(REGISTRY) == {
             "RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
             "RPR101", "RPR102",
-            "RPR201", "RPR202", "RPR203",
+            "RPR201", "RPR202", "RPR203", "RPR204",
             "RPR301",
             "RPR401", "RPR402", "RPR403", "RPR404",
         }
@@ -349,6 +349,57 @@ class TestLiveProgressRPR203:
     def test_non_engine_scope_not_checked(self):
         assert not _lint(self.BAD, "repro/parasitics/fake.py",
                          "RPR203")
+
+
+class TestHealthChannelRPR204:
+    BAD = """
+        from repro.obs import health, live, trace
+
+        HEALTH_FIELDS = ("grad_norm", "step_length")
+
+        def optimize(tracer):
+            for i in range(10):
+                tracer.record("engine.loop", i, value=float(i))
+                live.progress("engine.loop", i, value=float(i))
+    """
+
+    GOOD = """
+        from repro.obs import health, live, trace
+
+        HEALTH_FIELDS = ("grad_norm", "step_length")
+
+        def optimize(tracer):
+            for i in range(10):
+                tracer.record("engine.loop", i, value=float(i))
+                live.progress("engine.loop", i, value=float(i))
+                health.sample("engine.loop", i, grad_norm=1.0,
+                              step_length=0.5)
+    """
+
+    def test_flags_progress_without_health(self):
+        findings = _lint(self.BAD, "repro/eplace/fake.py", "RPR204")
+        assert _rule_ids(findings) == {"RPR204"}
+        assert "HEALTH_FIELDS" in findings[0].message
+
+    def test_clean_paired_health_sample(self):
+        assert not _lint(self.GOOD, "repro/eplace/fake.py", "RPR204")
+
+    def test_undeclared_module_not_checked(self):
+        # no HEALTH_FIELDS declaration: the engine has no health
+        # instrumentation and progress-only loops stay legal
+        src = """
+            from repro.obs import live, trace
+
+            def optimize(tracer):
+                for i in range(10):
+                    tracer.record("engine.loop", i, value=float(i))
+                    live.progress("engine.loop", i, value=float(i))
+        """
+        assert not _lint(src, "repro/eplace/fake.py", "RPR204")
+
+    def test_non_engine_scope_not_checked(self):
+        assert not _lint(self.BAD, "repro/parasitics/fake.py",
+                         "RPR204")
 
 
 class TestNoPrintRPR202:

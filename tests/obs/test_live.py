@@ -99,6 +99,30 @@ class TestSession:
             live.progress("p", 0, value=0.0)
         assert len(constructed) == 1
 
+    def test_disabled_bus_constructs_no_health_samples(
+        self, monkeypatch,
+    ):
+        from repro.obs import health
+
+        constructed: list[int] = []
+        real = health.HealthSample
+
+        class Counting(real):  # type: ignore[misc, valid-type]
+            def __init__(self, *args, **kwargs):
+                constructed.append(1)
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(health, "HealthSample", Counting)
+        assert not live.active()
+        for i in range(100):
+            health.sample("p", i, grad_norm=float(i))
+        # same zero-construction guarantee as progress: the health
+        # channel costs one thread-local lookup when no bus is active
+        assert constructed == []
+        with live.session():
+            health.sample("p", 0, grad_norm=0.0)
+        assert len(constructed) == 1
+
     def test_cancellation_raises_after_publishing(self):
         sub = live.CollectingSubscriber()
         cancelled = {"flag": False}

@@ -27,7 +27,7 @@ class TestRegistryCore:
         manifest_path = writer.path / "manifest.json"
         assert manifest_path.is_file()
         doc = json.loads(manifest_path.read_text())
-        assert doc["schema"] == "repro.run/1"
+        assert doc["schema"] == "repro.run/2"
         assert doc["status"] == "running"  # crash-visible
         assert doc["kind"] == "place"
         assert doc["config"] == {"seed": 3}
@@ -110,6 +110,53 @@ class TestRegistryCore:
         monkeypatch.delenv("REPRO_RUNS_DIR")
         assert str(RunRegistry().root) == DEFAULT_ROOT
 
+    def test_write_trace_stores_diagnosis(self, registry):
+        with trace.tracing() as tracer:
+            for i in range(10):
+                tracer.record("engine.loop", i,
+                              best_cost=float(10 - i))
+        writer = registry.create("place", "x")
+        writer.write_trace(tracer.to_trace(), method="test")
+        writer.finalize()
+        (run,) = registry.list_runs()
+        doc = run.manifest["diagnosis"]
+        assert doc["schema"] == "repro.diagnosis/1"
+        assert doc["verdict"] == "converged"
+        assert "engine.loop" in doc["phases"]
+
+    def test_finalize_merges_resource_summary(self, registry):
+        writer = registry.create("place", "x")
+        bus = live.EventBus()
+        bus.subscribe(writer.event_subscriber())
+        bus.publish(live.ResourceSample(0.0, 1000.0, 0.0))
+        bus.publish(live.ResourceSample(1.0, 4096.0, 0.5))
+        writer.finalize(metrics={"hpwl": 2.0})
+        (run,) = registry.list_runs()
+        assert run.metrics["hpwl"] == 2.0
+        assert run.metrics["peak_rss_kib"] == 4096.0
+        assert run.metrics["resource_samples"] == 2.0
+        assert run.metrics["mean_cpu"] == pytest.approx(0.5)
+
+    def test_v1_manifest_still_loads(self, registry):
+        """``repro.run/1`` directories (no diagnosis/resource keys)
+        keep listing, resolving and comparing."""
+        path = registry.root / "20250101-000000-deadbeef"
+        path.mkdir(parents=True)
+        (path / "manifest.json").write_text(json.dumps({
+            "schema": "repro.run/1",
+            "run_id": path.name,
+            "kind": "place",
+            "label": "old:annealing",
+            "config": {"seed": 1},
+            "status": "complete",
+            "metrics": {"hpwl": 3.5},
+        }))
+        (run,) = registry.list_runs()
+        assert run.status == "complete"
+        assert run.metrics == {"hpwl": 3.5}
+        assert registry.resolve("latest").run_id == path.name
+        assert "diagnosis" not in run.manifest
+
 
 class TestRunsCli:
     @pytest.fixture
@@ -167,3 +214,131 @@ class TestRunsCli:
         capsys.readouterr()
         assert main(["runs", "--root", str(recorded), "list"]) == 0
         assert "Comp1:annealing" in capsys.readouterr().out
+
+
+def _record_synthetic_run(root, values, label="synthetic"):
+    """One registry run whose convergence series is ``values``."""
+    registry = RunRegistry(root)
+    with trace.tracing() as tracer:
+        for i, v in enumerate(values):
+            tracer.record("engine.loop", i, best_cost=float(v))
+    writer = registry.create("place", label)
+    writer.write_trace(tracer.to_trace(), method="test")
+    writer.finalize(metrics={"best_cost": float(values[-1])})
+    return writer
+
+
+class TestDoctorCli:
+    def test_healthy_run_exits_0(self, tmp_path, capsys):
+        _record_synthetic_run(
+            tmp_path, [100.0 / (i + 1) for i in range(30)]
+        )
+        assert main(["runs", "--root", str(tmp_path),
+                     "doctor", "latest"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict  : converged" in out
+        assert "engine.loop" in out
+
+    def test_diverging_run_exits_1(self, tmp_path, capsys):
+        _record_synthetic_run(
+            tmp_path, [10.0 + 2.0 * i for i in range(30)]
+        )
+        assert main(["runs", "--root", str(tmp_path),
+                     "doctor", "latest"]) == 1
+        out = capsys.readouterr().out
+        assert "verdict  : diverging" in out
+
+    def test_run_without_trace_is_insufficient(self, tmp_path,
+                                               capsys):
+        writer = RunRegistry(tmp_path).create("place", "bare")
+        writer.finalize()
+        assert main(["runs", "--root", str(tmp_path),
+                     "doctor", "latest"]) == 0
+        assert "insufficient-data" in capsys.readouterr().out
+
+    def test_v1_run_recomputes_from_trace(self, tmp_path, capsys):
+        # strip the stored verdicts: doctor must fall back to the
+        # trace.jsonl recompute path used for repro.run/1 directories
+        writer = _record_synthetic_run(
+            tmp_path, [10.0 + 2.0 * i for i in range(30)]
+        )
+        manifest_path = writer.path / "manifest.json"
+        doc = json.loads(manifest_path.read_text())
+        del doc["diagnosis"]
+        doc["schema"] = "repro.run/1"
+        manifest_path.write_text(json.dumps(doc))
+        assert main(["runs", "--root", str(tmp_path),
+                     "doctor", "latest"]) == 1
+        assert "diverging" in capsys.readouterr().out
+
+    def test_doctor_real_smoke_run(self, tmp_path, monkeypatch,
+                                   capsys):
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path))
+        assert main([
+            "place", "comp1", "--method", "annealing",
+            "--sa-iterations", "1500", "--seed", "1", "--save-run",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["runs", "doctor", "latest"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict  : converged" in out
+        assert "sa.stage" in out
+
+
+class TestReportCli:
+    def test_report_writes_selfcontained_html(self, tmp_path,
+                                              capsys):
+        writer = _record_synthetic_run(
+            tmp_path, [100.0 / (i + 1) for i in range(30)]
+        )
+        assert main(["runs", "--root", str(tmp_path),
+                     "report", "latest"]) == 0
+        out_path = writer.path / "report.html"
+        assert out_path.is_file()
+        html = out_path.read_text()
+        assert len(html) > 0
+        assert "<html" in html
+        assert "engine.loop" in html
+        # self-contained: no external asset references
+        assert "http://" not in html and "https://" not in html
+
+    def test_report_out_flag(self, tmp_path, capsys):
+        _record_synthetic_run(
+            tmp_path, [3.0, 2.0, 1.0]
+        )
+        target = tmp_path / "custom.html"
+        assert main(["runs", "--root", str(tmp_path),
+                     "report", "latest", "--out",
+                     str(target)]) == 0
+        assert target.is_file()
+        assert "<html" in target.read_text()
+
+
+class TestCompareHealthCli:
+    def test_health_rows_and_mismatch_marker(self, tmp_path, capsys):
+        good = _record_synthetic_run(
+            tmp_path, [100.0 / (i + 1) for i in range(30)],
+            label="good",
+        )
+        bad = _record_synthetic_run(
+            tmp_path, [10.0 + 2.0 * i for i in range(30)],
+            label="bad",
+        )
+        assert main(["runs", "--root", str(tmp_path), "compare",
+                     good.run_id, bad.run_id, "--health"]) == 0
+        out = capsys.readouterr().out
+        assert "health" in out
+        assert "converged" in out and "diverging" in out
+        assert "*" in out  # the verdicts differ
+
+    def test_matching_verdicts_have_no_marker(self, tmp_path,
+                                              capsys):
+        a = _record_synthetic_run(tmp_path, [3.0, 2.0, 1.0],
+                                  label="a")
+        b = _record_synthetic_run(tmp_path, [6.0, 4.0, 2.0],
+                                  label="b")
+        assert main(["runs", "--root", str(tmp_path), "compare",
+                     a.run_id, b.run_id, "--health"]) == 0
+        out = capsys.readouterr().out
+        assert "converged" in out
+        assert "*" not in out
