@@ -214,6 +214,7 @@ def parallel_map_live(
     jobs: "int | None" = 1,
     bus: "live.EventBus | None" = None,
     handle_ready: "Callable[[LiveHandle], None] | None" = None,
+    always_fork: bool = False,
 ) -> "list[Any]":
     """:func:`parallel_map` with live event streaming and cancellation.
 
@@ -227,6 +228,13 @@ def parallel_map_live(
     before any task starts — subscribe a controller to ``bus`` first,
     then cancel tasks from its event callbacks.
 
+    ``always_fork`` routes even a single task through a worker
+    process instead of the inline path.  The placement service uses
+    this: a job must not run CPU-bound engine code on a server
+    thread, and its cancel token must be able to interrupt an
+    in-flight run from another process.  Event streams stay
+    bit-identical either way (both paths run :func:`_execute_task`).
+
     Ordering contract: per-task event order is preserved in both the
     inline and the worker-process path, so sorting the merged stream
     stably by ``source`` yields the same canonical sequence for any
@@ -238,7 +246,7 @@ def parallel_map_live(
         bus = live.EventBus()
     effective = normalize_jobs(jobs)
     n = len(items)
-    if effective <= 1 or n <= 1:
+    if not always_fork and (effective <= 1 or n <= 1):
         tokens = [threading.Event() for _ in range(n)]
         handle = LiveHandle(tokens)
         if handle_ready is not None:

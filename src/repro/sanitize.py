@@ -216,9 +216,17 @@ _INSTALLED = False
 
 def _hazardous_threads() -> list[threading.Thread]:
     current = threading.current_thread()
+    main = threading.main_thread()
     hazards = []
     for thread in threading.enumerate():
         if thread is current or not thread.is_alive():
+            continue
+        if thread is main:
+            # The main thread cannot be stopped before forking (it *is*
+            # the process), so "stop it first" is unsatisfiable advice;
+            # forks from server worker threads necessarily coexist with
+            # it.  Its lock exposure is covered by the order-graph and
+            # suspend_samplers checks instead.
             continue
         if not thread.daemon:
             hazards.append(thread)

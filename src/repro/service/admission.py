@@ -1,0 +1,119 @@
+"""Admission control: estimated-cost gating for placement jobs.
+
+The service refuses work it can predict it cannot afford instead of
+letting the queue absorb it — the quality-per-CPU-second framing: a
+bounded worker pool's throughput is spent where the estimate says it
+buys the most, and over-budget requests fail fast with ``429`` so
+clients can re-plan (smaller circuit, cheaper engine, fewer
+iterations) rather than wait out a doomed queue slot.
+
+The cost model is deliberately coarse: *device count x engine weight
+x iteration budget*.  It only has to rank requests consistently with
+how the engines actually scale — SA cost grows with the move budget,
+the analytical flows with their iteration caps — not predict seconds.
+Units are "cost points"; the service's ``--max-cost`` is expressed in
+the same points and documented in docs/SERVICE.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..annealing import SAParams
+from ..eplace import EPlaceParams
+from ..xu_ispd19 import XuParams
+from .protocol import JobRequest, build_place_kwargs
+
+#: relative per-device cost of one *default-budget* run, by engine.
+#: Calibrated against the smoke-suite runtimes: SA's pure-Python move
+#: loop dominates, ePlace-A's Nesterov iterations beat Xu's CG stages.
+ENGINE_COST_WEIGHTS: "dict[str, float]" = {
+    "annealing": 4.0,
+    "eplace-a": 2.0,
+    "xu-ispd19": 1.0,
+}
+
+
+def _budget_scale(method: str, params: Any) -> float:
+    """Iteration budget relative to the engine's default budget."""
+    if method == "annealing":
+        default = SAParams()
+        return (params.iterations + params.polish_evals) / float(
+            default.iterations + default.polish_evals
+        )
+    if method == "eplace-a":
+        return params.max_iters / float(EPlaceParams().max_iters)
+    if method == "xu-ispd19":
+        default = XuParams()
+        return (params.stages * params.cg_iterations) / float(
+            default.stages * default.cg_iterations
+        )
+    raise ValueError(f"unknown method {method!r}")
+
+
+def estimate_cost(num_devices: int, request: JobRequest) -> float:
+    """Estimated cost points for running ``request``.
+
+    ``devices x engine weight x (iteration budget / default budget)``
+    — the ranking the admission gate and the ``Retry-After`` hint are
+    built on.
+    """
+    kwargs = build_place_kwargs(request)
+    key = "params" if request.method == "annealing" else "gp_params"
+    weight = ENGINE_COST_WEIGHTS[request.method]
+    scale = _budget_scale(request.method, kwargs[key])
+    return float(num_devices) * weight * scale
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check."""
+
+    admitted: bool
+    cost: float
+    reason: str = ""
+    retry_after_s: int = 0
+
+
+class AdmissionPolicy:
+    """Cost gate applied to every submission before it is queued.
+
+    ``max_cost`` caps the estimated cost of a *single* job
+    (``None`` disables the gate).  Rejections carry an advisory
+    ``Retry-After`` derived from the current backlog — over-budget
+    work stays over budget, but the hint tells batch clients how long
+    the current congestion is likely to persist.
+    """
+
+    #: advisory seconds of Retry-After per queued/running job
+    RETRY_AFTER_PER_JOB_S = 2
+
+    def __init__(self, max_cost: "float | None" = None) -> None:
+        if max_cost is not None and max_cost <= 0:
+            raise ValueError(
+                f"max_cost must be positive, got {max_cost}"
+            )
+        self.max_cost = max_cost
+
+    def retry_after_s(self, backlog: int) -> int:
+        """Advisory retry delay for a backlog of that many jobs."""
+        return max(1, self.RETRY_AFTER_PER_JOB_S * max(1, backlog))
+
+    def check(
+        self, num_devices: int, request: JobRequest, backlog: int = 0
+    ) -> AdmissionDecision:
+        """Admit or reject ``request`` for a circuit of that size."""
+        cost = estimate_cost(num_devices, request)
+        if self.max_cost is not None and cost > self.max_cost:
+            return AdmissionDecision(
+                admitted=False,
+                cost=cost,
+                reason=(
+                    f"estimated cost {cost:.1f} exceeds the "
+                    f"admission budget {self.max_cost:.1f}; reduce "
+                    "the iteration budget or use a cheaper engine"
+                ),
+                retry_after_s=self.retry_after_s(backlog),
+            )
+        return AdmissionDecision(admitted=True, cost=cost)

@@ -1,0 +1,109 @@
+"""Result cache keyed by request content fingerprints.
+
+One entry per :func:`repro.service.protocol.fingerprint_request`
+value, holding the completed job's result document.  The memory map
+answers repeats within a server's lifetime; the optional on-disk
+layer (``--cache-dir``) survives restarts.  Disk writes go through a
+temp-file rename so a crashed write can never leave a half-parsable
+entry, and unreadable entries are treated as misses, never as errors.
+
+Invalidation is by content: the fingerprint covers the canonical
+netlist, constraints, engine, resolved params and seed, so any change
+to what would be computed produces a *different* key — stale entries
+cannot be returned, only orphaned.  Orphans are bounded by ``prune``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from .. import sanitize
+from ..obs.log import get_logger
+
+logger = get_logger("service.cache")
+
+
+class ResultCache:
+    """Fingerprint-keyed store of completed result documents."""
+
+    def __init__(
+        self, cache_dir: "str | os.PathLike[str] | None" = None
+    ) -> None:
+        self._lock = sanitize.make_lock("service.cache.ResultCache")
+        self._memory: "dict[str, dict[str, Any]]" = {}
+        self.cache_dir = Path(cache_dir) if cache_dir else None
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+
+    def _disk_path(self, fingerprint: str) -> "Path | None":
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{fingerprint}.json"
+
+    def get(self, fingerprint: str) -> "dict[str, Any] | None":
+        """The cached result document, or ``None`` on a miss."""
+        with self._lock:
+            hit = self._memory.get(fingerprint)
+        if hit is not None:
+            return hit
+        path = self._disk_path(fingerprint)
+        if path is None or not path.is_file():
+            return None
+        try:
+            with open(path) as handle:
+                doc = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            logger.warning("dropping unreadable cache entry %s", path)
+            return None
+        if not isinstance(doc, dict):
+            return None
+        with self._lock:
+            self._memory[fingerprint] = doc
+        return doc
+
+    def put(self, fingerprint: str, doc: "dict[str, Any]") -> None:
+        """Store ``doc`` under ``fingerprint`` (memory, then disk)."""
+        with self._lock:
+            self._memory[fingerprint] = doc
+        path = self._disk_path(fingerprint)
+        if path is None:
+            return
+        tmp = path.with_suffix(".json.tmp")
+        with open(tmp, "w") as handle:
+            json.dump(doc, handle, indent=1, sort_keys=True,
+                      default=float)
+            handle.write("\n")
+        os.replace(tmp, path)
+
+    def __len__(self) -> int:
+        with self._lock:
+            entries = set(self._memory)
+        if self.cache_dir is not None and self.cache_dir.is_dir():
+            entries.update(
+                path.stem for path in self.cache_dir.glob("*.json")
+            )
+        return len(entries)
+
+    def prune(self, keep: int = 256) -> int:
+        """Drop oldest disk entries beyond ``keep``; returns removals.
+
+        Memory entries are kept (they are bounded by the job store's
+        own retention).  Age is mtime — content keys carry no
+        ordering of their own.
+        """
+        if self.cache_dir is None:
+            return 0
+        entries = sorted(
+            self.cache_dir.glob("*.json"),
+            key=lambda path: (path.stat().st_mtime, path.name),
+        )
+        victims = entries[: max(0, len(entries) - keep)]
+        for path in victims:
+            try:
+                path.unlink()
+            except OSError:
+                logger.warning("could not prune cache entry %s", path)
+        return len(victims)

@@ -132,6 +132,23 @@ class TestForkSafety:
             release.set()
             thread.join()
 
+    def test_main_thread_is_exempt_from_worker_forks(self, sanitized):
+        # A threaded server forks from worker threads while the main
+        # thread is (unavoidably) alive — that must not be flagged.
+        outcome = []
+
+        def worker():
+            try:
+                sanitize.check_fork_safety()
+                outcome.append(None)
+            except sanitize.ForkSafetyError as exc:
+                outcome.append(exc)
+
+        thread = threading.Thread(target=worker, daemon=True)
+        thread.start()
+        thread.join()
+        assert outcome == [None]
+
     def test_running_sampler_raises(self, sanitized):
         sampler = live.ResourceSampler(live.EventBus(), interval=0.05)
         sampler.start()

@@ -1,0 +1,55 @@
+"""docs/SERVICE.md must cover every registered route and state.
+
+The route table is code (`repro.service.ROUTES`); the reference is
+prose.  Enumerating one against the other keeps them from drifting:
+adding an endpoint without documenting it — or documenting one that
+does not exist — fails here.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.service import JOB_STATES, ROUTES
+
+DOC = Path(__file__).resolve().parents[2] / "docs" / "SERVICE.md"
+
+
+@pytest.fixture(scope="module")
+def service_md():
+    assert DOC.is_file(), f"missing {DOC}"
+    return DOC.read_text()
+
+
+@pytest.mark.parametrize(
+    "method,pattern", [(m, p) for m, p, _ in ROUTES]
+)
+def test_every_route_is_documented(service_md, method, pattern):
+    assert f"`{method} {pattern}`" in service_md, (
+        f"docs/SERVICE.md has no section for `{method} {pattern}`; "
+        "document the endpoint (and keep the backtick form so this "
+        "test can find it)"
+    )
+
+
+def test_every_job_state_is_documented(service_md):
+    for state in JOB_STATES:
+        assert f"`{state}`" in service_md, (
+            f"docs/SERVICE.md never mentions job state `{state}`"
+        )
+
+
+def test_routes_table_is_complete():
+    # the six endpoints the handler dispatches; growing the handler
+    # without growing ROUTES (and the doc) should fail loudly
+    patterns = {(method, pattern) for method, pattern, _ in ROUTES}
+    assert patterns == {
+        ("POST", "/jobs"),
+        ("GET", "/jobs/<id>"),
+        ("GET", "/jobs/<id>/events"),
+        ("DELETE", "/jobs/<id>"),
+        ("GET", "/healthz"),
+        ("GET", "/stats"),
+    }

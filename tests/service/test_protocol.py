@@ -1,0 +1,242 @@
+"""Unit tests for the service wire protocol, cost model and cache.
+
+Everything here is socket-free: request parsing, the content
+fingerprint that keys the dedupe cache, the admission cost estimator,
+and the result cache's disk layer.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.circuits import make
+from repro.service import (
+    AdmissionPolicy,
+    ProtocolError,
+    ResultCache,
+    build_place_kwargs,
+    canonical_circuit,
+    engine_params_doc,
+    estimate_cost,
+    fingerprint_request,
+    parse_job_request,
+    resolve_circuit,
+)
+
+# ---------------------------------------------------------------------------
+# request parsing
+
+
+def test_parse_minimal_request_defaults():
+    req = parse_job_request({"circuit": "comp1"})
+    assert req.circuit == "Comp1"
+    assert req.method == "eplace-a"
+    assert req.seed == 1
+    assert req.params == {}
+    assert req.timeout_s is None
+
+
+def test_parse_full_request():
+    req = parse_job_request({
+        "circuit": "CM-OTA1", "method": "annealing", "seed": 7,
+        "params": {"iterations": 500}, "timeout_s": 2.5,
+    })
+    assert req.circuit == "CM-OTA1"
+    assert req.method == "annealing"
+    assert req.seed == 7
+    assert req.params == {"iterations": 500}
+    assert req.timeout_s == 2.5
+
+
+@pytest.mark.parametrize("doc,fragment", [
+    ("not an object", "JSON object"),
+    ({}, "circuit"),
+    ({"circuit": "nope"}, "unknown circuit"),
+    ({"circuit": "comp1", "method": "magic"}, "unknown method"),
+    ({"circuit": "comp1", "seed": "one"}, "seed"),
+    ({"circuit": "comp1", "seed": True}, "seed"),
+    ({"circuit": "comp1", "bogus": 1}, "unknown request field"),
+    ({"circuit": "comp1", "params": [1]}, "params"),
+    ({"circuit": "comp1", "params": {"seed": 2}}, "params.seed"),
+    ({"circuit": "comp1", "params": {"x": [1]}}, "params.x"),
+    ({"circuit": "comp1", "timeout_s": "fast"}, "timeout_s"),
+    ({"circuit": "comp1", "timeout_s": -1}, "positive"),
+])
+def test_parse_rejects_malformed(doc, fragment):
+    with pytest.raises(ProtocolError, match=fragment):
+        parse_job_request(doc)
+
+
+def test_circuit_aliases_resolve_like_the_cli():
+    assert resolve_circuit("cmota1") == "CM-OTA1"
+    assert resolve_circuit("CC_OTA") == "CC-OTA"
+    with pytest.raises(ProtocolError):
+        resolve_circuit("not-a-circuit")
+
+
+def test_build_place_kwargs_rejects_unknown_engine_param():
+    req = parse_job_request(
+        {"circuit": "comp1", "params": {"warp_factor": 9}}
+    )
+    with pytest.raises(ProtocolError, match="unknown engine param"):
+        build_place_kwargs(req)
+
+
+def test_build_place_kwargs_seeds_like_the_api():
+    req = parse_job_request(
+        {"circuit": "comp1", "method": "annealing", "seed": 11}
+    )
+    kwargs = build_place_kwargs(req)
+    assert kwargs["params"].seed == 11
+    req = parse_job_request({"circuit": "comp1", "seed": 4})
+    assert build_place_kwargs(req)["gp_params"].seed == 4
+
+
+# ---------------------------------------------------------------------------
+# fingerprints
+
+
+def _fp(doc):
+    return fingerprint_request(parse_job_request(doc))
+
+
+def test_fingerprint_is_stable_across_aliases_and_defaults():
+    base = _fp({"circuit": "comp1", "method": "eplace-a", "seed": 3})
+    # alias spelling of the same circuit
+    assert _fp({"circuit": "Comp1", "seed": 3}) == base
+    # spelling out a default param value changes nothing
+    assert _fp({
+        "circuit": "comp1", "seed": 3,
+        "params": {"utilization": 0.8},
+    }) == base
+    # timeout_s changes when a job is killed, not what it computes
+    assert _fp({
+        "circuit": "comp1", "seed": 3, "timeout_s": 60,
+    }) == base
+
+
+def test_fingerprint_separates_distinct_computations():
+    base = _fp({"circuit": "comp1", "seed": 3})
+    assert _fp({"circuit": "comp1", "seed": 4}) != base
+    assert _fp({"circuit": "comp2", "seed": 3}) != base
+    assert _fp({
+        "circuit": "comp1", "seed": 3, "method": "xu-ispd19",
+    }) != base
+    assert _fp({
+        "circuit": "comp1", "seed": 3,
+        "params": {"utilization": 0.7},
+    }) != base
+
+
+def test_fingerprint_covers_constraints_not_just_the_name():
+    req = parse_job_request({"circuit": "comp1", "seed": 3})
+    circuit = make("Comp1")
+    mutated = copy.deepcopy(circuit)
+    assert mutated.constraints.symmetry_groups
+    mutated.constraints.symmetry_groups.pop(0)
+    assert fingerprint_request(req, circuit) != fingerprint_request(
+        req, mutated
+    )
+
+
+def test_canonical_circuit_is_json_stable():
+    doc_a = canonical_circuit(make("CC-OTA"))
+    doc_b = canonical_circuit(make("CC-OTA"))
+    assert json.dumps(doc_a, sort_keys=True) == \
+        json.dumps(doc_b, sort_keys=True)
+    assert doc_a["constraints"]["symmetry_groups"]
+
+
+def test_engine_params_doc_folds_in_seed_and_defaults():
+    doc = engine_params_doc(
+        parse_job_request({"circuit": "comp1", "seed": 9})
+    )
+    assert doc["seed"] == 9
+    assert doc["utilization"] == 0.8
+
+
+# ---------------------------------------------------------------------------
+# admission cost model
+
+
+def test_cost_scales_with_devices_and_engine_weight():
+    xu = parse_job_request({"circuit": "comp1", "method": "xu-ispd19"})
+    sa = parse_job_request({"circuit": "comp1", "method": "annealing"})
+    assert estimate_cost(20, xu) == 2 * estimate_cost(10, xu)
+    assert estimate_cost(10, sa) > estimate_cost(10, xu)
+
+
+def test_cost_scales_with_iteration_budget():
+    small = parse_job_request({
+        "circuit": "comp1", "method": "xu-ispd19",
+        "params": {"cg_iterations": 10},
+    })
+    big = parse_job_request({
+        "circuit": "comp1", "method": "xu-ispd19",
+        "params": {"cg_iterations": 100},
+    })
+    assert estimate_cost(10, big) == pytest.approx(
+        10 * estimate_cost(10, small)
+    )
+
+
+def test_admission_policy_gates_on_max_cost():
+    req = parse_job_request({"circuit": "comp1"})
+    open_gate = AdmissionPolicy(max_cost=None)
+    assert open_gate.check(100, req).admitted
+    closed = AdmissionPolicy(max_cost=1.0)
+    decision = closed.check(100, req, backlog=3)
+    assert not decision.admitted
+    assert decision.cost > 1.0
+    assert "budget" in decision.reason
+    assert decision.retry_after_s >= 1
+    with pytest.raises(ValueError):
+        AdmissionPolicy(max_cost=0.0)
+
+
+def test_retry_after_grows_with_backlog():
+    policy = AdmissionPolicy(max_cost=1.0)
+    assert policy.retry_after_s(8) > policy.retry_after_s(1)
+    assert policy.retry_after_s(0) >= 1
+
+
+# ---------------------------------------------------------------------------
+# result cache
+
+
+def test_cache_memory_roundtrip():
+    cache = ResultCache()
+    assert cache.get("aa") is None
+    cache.put("aa", {"x": 1})
+    assert cache.get("aa") == {"x": 1}
+    assert len(cache) == 1
+
+
+def test_cache_disk_layer_survives_reconstruction(tmp_path):
+    first = ResultCache(tmp_path / "cache")
+    first.put("deadbeef", {"metrics": {"hpwl": 1.5}})
+    second = ResultCache(tmp_path / "cache")
+    assert second.get("deadbeef") == {"metrics": {"hpwl": 1.5}}
+    assert len(second) == 1
+
+
+def test_cache_treats_corrupt_entries_as_misses(tmp_path):
+    cache_dir = tmp_path / "cache"
+    cache = ResultCache(cache_dir)
+    (cache_dir / "feedface.json").write_text("{not json")
+    assert cache.get("feedface") is None
+
+
+def test_cache_prune_keeps_newest(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    for index in range(5):
+        cache.put(f"fp{index}", {"n": index})
+    removed = cache.prune(keep=2)
+    assert removed == 3
+    remaining = sorted(
+        path.stem for path in (tmp_path / "cache").glob("*.json")
+    )
+    assert len(remaining) == 2
