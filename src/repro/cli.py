@@ -600,6 +600,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist the result cache here (default: memory only)",
     )
     p_serve.add_argument(
+        "--cache-policy", choices=("fifo", "lru"), default="lru",
+        help="disk-cache eviction policy: lru renews entries on every "
+             "hit, fifo evicts oldest writes (default: lru)",
+    )
+    p_serve.add_argument(
         "--runs-root", default=None,
         help="run registry root for finished jobs "
              "(default: $REPRO_RUNS_DIR or ./runs)",
@@ -625,6 +630,7 @@ def _cmd_serve(args) -> int:
         queue_depth=args.queue_depth,
         max_cost=args.max_cost,
         cache_dir=args.cache_dir,
+        cache_policy=args.cache_policy,
         runs_root=args.runs_root,
         timeout_s=args.timeout_s,
     )

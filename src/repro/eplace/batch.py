@@ -1,0 +1,467 @@
+"""Lockstep multi-instance ePlace-A global placement.
+
+Runs B seeded instances of one circuit's global placement *together*:
+every Nesterov evaluation round stacks the instances' positions and
+runs one shared batched spectral solve
+(:class:`repro.analytic.BatchedDensityGrid`) instead of B independent
+processes redoing identical FFT plans.  This is the batch entry point
+behind ``place_multiseed(batch=True)``, convergence racing over a
+shared grid, and the ``density``/``density-scale`` bench engines.
+
+Semantics contract
+------------------
+Each instance advances through *exactly* the evaluation sequence a
+sequential :class:`repro.eplace.EPlaceGlobalPlacer` run would perform:
+per-instance Nesterov state (momentum, Lipschitz step prediction,
+backtracking halvings, adaptive restart), per-instance multiplier
+annealing and per-instance early stopping are all preserved — only
+the density-term evaluations are grouped across instances per
+backtracking round.  The batched density kernel agrees with the
+per-instance kernels to 1e-10 (bit-identical gradients in practice),
+so lockstep results match sequential runs to numerical round-off;
+they are *not* guaranteed byte-identical across platforms, which is
+why the default ``place_multiseed`` path stays per-process and batch
+mode is opt-in.
+
+Live telemetry and racing mirror
+:func:`repro.parallel.parallel_map_live`'s inline path: each instance
+publishes its progress/health events on its own bus stamped with the
+instance index as ``source``, a :class:`repro.parallel.LiveHandle`
+cancels instances cooperatively (observed at the next progress
+publication, resolving that slot to
+:class:`repro.parallel.CancelledTask`), and ``task`` start/end phase
+markers bracket every instance's stream.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..analytic import BatchedDensityGrid
+from ..netlist import Circuit
+from ..obs import diagnose, health, live, memory, metrics, trace
+from ..obs.log import get_logger
+from ..parallel import CancelledTask, LiveHandle
+from ..placement import Placement, PlacerResult
+from .global_place import EPlaceGlobalPlacer
+from .params import EPlaceParams
+
+logger = get_logger("eplace.batch")
+
+#: EPlaceParams fields allowed to differ across a batch — everything
+#: else shapes the shared grid/objective and must match instance 0
+_PER_INSTANCE_FIELDS = ("seed",)
+
+
+def batch_params(
+    base: "EPlaceParams | None", seeds: "Sequence[int]"
+) -> "list[EPlaceParams]":
+    """Per-seed parameter list sharing every non-seed field of ``base``."""
+    base = base or EPlaceParams()
+    return [dataclasses.replace(base, seed=int(s)) for s in seeds]
+
+
+def _check_params(params_list: "Sequence[EPlaceParams]") -> None:
+    """Every instance must share the grid-shaping parameters."""
+    if not params_list:
+        raise ValueError("batch needs at least one instance")
+    first = params_list[0]
+    if first.symmetry_mode != "soft":
+        raise ValueError(
+            "batched global placement supports symmetry_mode='soft' "
+            "only (hard mode reparameterises the coordinate space)"
+        )
+    for index, params in enumerate(params_list[1:], start=1):
+        for name in vars(first):
+            if name in _PER_INSTANCE_FIELDS:
+                continue
+            if getattr(params, name) != getattr(first, name):
+                raise ValueError(
+                    f"batch instance {index} differs from instance 0 "
+                    f"in {name!r}; only {_PER_INSTANCE_FIELDS} may "
+                    "vary across a lockstep batch"
+                )
+
+
+class _Instance:
+    """One seeded placement run's state inside the lockstep batch.
+
+    Mirrors :class:`repro.analytic.NesterovOptimizer`'s fields (same
+    names, same initial values) so the lockstep driver replays the
+    optimiser's exact update sequence with the density evaluations
+    hoisted out.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        placer: EPlaceGlobalPlacer,
+        tracer: "trace.Tracer",
+        bus: "live.EventBus",
+    ) -> None:
+        self.index = index
+        self.placer = placer
+        self.tracer = tracer
+        self.bus = bus
+        n = placer.circuit.num_devices
+        self.n = n
+        x, y = placer.initial_positions()
+        placer._init_weights(x, y)
+        self.half_w = placer.widths / 2.0
+        self.half_h = placer.heights / 2.0
+        self.region = placer.region
+        # NesterovOptimizer state
+        self.v = self.project(np.concatenate([x, y]))
+        self.u = self.v.copy()
+        self.a = 1.0
+        self.alpha = placer.bin_size * 0.5
+        self.backtrack = 12
+        self.iteration = 0
+        self.prev_u: "np.ndarray | None" = None
+        self.prev_grad_u: "np.ndarray | None" = None
+        self.prev_value = np.inf
+        # lockstep bookkeeping
+        self.active = True
+        self.history: "list[tuple[float, float]]" = []
+        self.result: "CancelledTask | None" = None
+        # per-step scratch (reset every outer iteration)
+        self.value_u = 0.0
+        self.grad_u = np.zeros(2 * n)
+        self.grad_norm = 0.0
+        self.alpha_pred = 0.0
+        self.alpha_try = 0.0
+        self.attempt = 0
+        self.fallback = False
+        self.candidate = np.zeros(2 * n)
+        self.v_new: "np.ndarray | None" = None
+        self.value_new = np.inf
+        self.backtracks = 0
+        self.restarted = False
+        #: task end marker published (early stop or batch drain)
+        self.ended = False
+
+    def project(self, vec: np.ndarray) -> np.ndarray:
+        """Clamp device centres into the placement region."""
+        out = vec.copy()
+        n = self.n
+        out[:n] = np.clip(out[:n], self.half_w,
+                          self.region - self.half_w)
+        out[n:] = np.clip(out[n:], self.half_h,
+                          self.region - self.half_h)
+        return out
+
+    def lipschitz_alpha(self) -> float:
+        """Mirror of ``NesterovOptimizer._lipschitz_alpha``."""
+        if self.prev_u is None:
+            return self.alpha
+        du = self.u - self.prev_u
+        dg = self.grad_u - self.prev_grad_u
+        dg_norm = float(np.linalg.norm(dg))
+        if dg_norm <= 1e-30:
+            return self.alpha * 2.0
+        return float(np.linalg.norm(du)) / dg_norm
+
+
+def _batched_objective(
+    density: BatchedDensityGrid,
+    pairs: "Sequence[tuple[_Instance, np.ndarray]]",
+) -> "list[tuple[float, np.ndarray]]":
+    """Evaluate each instance's full objective at its given vector.
+
+    The density term for the whole group comes from one shared
+    spectral solve; every other term runs through the instance's own
+    :meth:`EPlaceGlobalPlacer._objective_with_density`, under the
+    instance's live session so per-instance annealing state and
+    telemetry stay independent.  Returns ``(value, flat_gradient)``
+    per pair, in pair order.
+    """
+    n = pairs[0][0].n
+    xs = np.stack([vec[:n] for _, vec in pairs])
+    ys = np.stack([vec[n:] for _, vec in pairs])
+    with trace.timer("eplace.gp.density"):
+        energy, dgx, dgy, overflow = density.energy_and_grad(xs, ys)
+    out: "list[tuple[float, np.ndarray]]" = []
+    for b, (inst, vec) in enumerate(pairs):
+        den = (float(energy[b]), dgx[b], dgy[b], float(overflow[b]))
+        with live.session(inst.bus):
+            value, gx, gy = inst.placer._objective_with_density(
+                vec[:n], vec[n:], den
+            )
+        out.append((value, np.concatenate([gx, gy])))
+    return out
+
+
+def eplace_global_batch(
+    circuit: Circuit,
+    params_list: "Sequence[EPlaceParams]",
+    bus: "live.EventBus | None" = None,
+    handle_ready: "Callable[[LiveHandle], None] | None" = None,
+) -> "list[PlacerResult | CancelledTask]":
+    """Run B seeded global placements in lockstep; results in order.
+
+    ``params_list`` holds one :class:`EPlaceParams` per instance; all
+    entries must match except ``seed`` (build one with
+    :func:`batch_params`).  Returns one :class:`PlacerResult` per
+    instance — or a :class:`repro.parallel.CancelledTask` marker for
+    instances whose cancellation landed — in input order: the same
+    contract as ``parallel_map_live`` over per-seed workers, minus
+    the processes.
+
+    ``bus`` receives every instance's live events (stamped with the
+    instance index as ``source``); ``handle_ready`` receives the
+    cancellation :class:`LiveHandle` before the first iteration,
+    which is where a :class:`repro.obs.racing.RaceController` binds.
+    """
+    _check_params(params_list)
+    parent_tracer = trace.current()
+    traced = parent_tracer.enabled
+    publish = (
+        bus is not None or handle_ready is not None or live.active()
+    )
+    parent_bus = bus if bus is not None else live.current()
+    if publish and parent_bus is None:
+        parent_bus = live.EventBus()
+
+    clock = trace.Stopwatch()
+    placers = [
+        EPlaceGlobalPlacer(circuit, params) for params in params_list
+    ]
+    density = BatchedDensityGrid(placers[0].density)
+    p = params_list[0]
+
+    tokens = [threading.Event() for _ in placers]
+    handle = LiveHandle(tokens)
+    if handle_ready is not None:
+        handle_ready(handle)
+
+    instances: "list[_Instance]" = []
+    iteration = 0
+    with parent_tracer.span(
+        "eplace.gp.batch", circuit=circuit.name, batch=len(placers)
+    ), memory.phase_peak("eplace.gp.batch"):
+        with parent_tracer.span("eplace.gp.init"):
+            for index, placer in enumerate(placers):
+                tracer = trace.Tracer(enabled=traced)
+                task_bus = live.EventBus(
+                    source=index, cancel_check=tokens[index].is_set
+                )
+                if parent_bus is not None:
+                    task_bus.subscribe(parent_bus.publish)
+                instances.append(
+                    _Instance(index, placer, tracer, task_bus)
+                )
+        if publish:
+            for inst in instances:
+                with live.session(inst.bus):
+                    live.phase("task", "start")
+        recording = traced or publish
+
+        with parent_tracer.span("eplace.gp.nesterov"):
+            while iteration < p.max_iters and any(
+                inst.active for inst in instances
+            ):
+                iteration += 1
+                group = [inst for inst in instances if inst.active]
+                _lockstep_iteration(density, group, iteration)
+                for inst in group:
+                    _finish_iteration(
+                        inst, iteration, p, recording, publish
+                    )
+
+    runtime = clock.elapsed()
+    results: "list[PlacerResult | CancelledTask]" = []
+    for inst in instances:
+        if inst.result is not None:
+            results.append(inst.result)
+            continue
+        _end_task(inst, publish)
+        results.append(_build_result(inst, runtime))
+    metrics.counter("repro.global_placements").inc(len(placers))
+    logger.debug(
+        "eplace batch GP %s: %d instances, %d iterations, %.3fs",
+        circuit.name, len(placers), iteration, runtime,
+    )
+    return results
+
+
+def _lockstep_iteration(
+    density: BatchedDensityGrid,
+    group: "list[_Instance]",
+    iteration: int,
+) -> None:
+    """One Nesterov step for every active instance, density-batched.
+
+    Replays ``NesterovOptimizer.step`` per instance: reference-point
+    evaluation, Lipschitz step prediction, Armijo backtracking (each
+    halving round grouped into one batched evaluation across the
+    instances still searching, including the post-exhaustion tiny-step
+    fallback evaluation), adaptive restart and the momentum update.
+    """
+    for inst, (value_u, grad_u) in zip(
+        group, _batched_objective(
+            density, [(inst, inst.u) for inst in group]
+        )
+    ):
+        inst.value_u = value_u
+        inst.grad_u = grad_u
+        inst.grad_norm = float(np.linalg.norm(grad_u))
+        inst.alpha_pred = inst.lipschitz_alpha()
+        inst.alpha_try = inst.alpha_pred
+        inst.attempt = 0
+        inst.fallback = False
+        inst.v_new = None
+        inst.backtracks = 0
+
+    searching = list(group)
+    while searching:
+        for inst in searching:
+            inst.candidate = inst.project(
+                inst.u - inst.alpha_try * inst.grad_u
+            )
+        evals = _batched_objective(
+            density, [(inst, inst.candidate) for inst in searching]
+        )
+        still: "list[_Instance]" = []
+        for inst, (value_c, _grad) in zip(searching, evals):
+            if inst.fallback:
+                # objective too rough locally: accept the tiny step
+                inst.v_new = inst.candidate
+                inst.value_new = value_c
+                continue
+            armijo = (
+                inst.value_u
+                - 0.25 * inst.alpha_try * inst.grad_norm ** 2
+            )
+            if value_c <= armijo or inst.grad_norm == 0.0:
+                inst.v_new = inst.candidate
+                inst.value_new = value_c
+                inst.backtracks = inst.attempt
+                continue
+            inst.attempt += 1
+            inst.alpha_try *= 0.5
+            if inst.attempt > inst.backtrack:
+                inst.fallback = True
+            still.append(inst)
+        searching = still
+
+    for inst in group:
+        inst.restarted = inst.value_new > inst.prev_value
+        if inst.restarted:
+            inst.a = 1.0
+        a_next = (1.0 + np.sqrt(4.0 * inst.a * inst.a + 1.0)) / 2.0
+        momentum = (inst.a - 1.0) / a_next
+        assert inst.v_new is not None
+        u_new = inst.project(
+            inst.v_new + momentum * (inst.v_new - inst.v)
+        )
+        inst.prev_u = inst.u
+        inst.prev_grad_u = inst.grad_u
+        inst.prev_value = inst.value_new
+        inst.v = inst.v_new
+        inst.u = u_new
+        inst.a = a_next
+        inst.alpha = inst.alpha_try
+        inst.iteration = iteration
+
+
+def _finish_iteration(
+    inst: _Instance,
+    iteration: int,
+    p: EPlaceParams,
+    recording: bool,
+    publish: bool,
+) -> None:
+    """Post-step bookkeeping: annealing, telemetry, stop conditions."""
+    placer = inst.placer
+    placer._lambda *= p.lambda_mult
+    inst.history.append((inst.value_new, placer._overflow))
+    if recording:
+        n = inst.n
+        cx, cy = inst.v[:n], inst.v[n:]
+        values = dict(
+            value=inst.value_new,
+            grad_norm=inst.grad_norm,
+            step_length=inst.alpha,
+            overflow=placer._overflow,
+            density_weight=placer._lambda,
+            hpwl=placer._exact_hpwl(cx, cy),
+            **getattr(placer, "_terms", {}),
+        )
+        hvalues = dict(
+            grad_norm=inst.grad_norm,
+            step_length=inst.alpha,
+            step_predicted=inst.alpha_pred,
+            backtracks=float(inst.backtracks),
+            restarted=float(inst.restarted),
+            density_weight=placer._lambda,
+            tau=placer._tau_scaled,
+            eta=placer._eta_scaled,
+            overflow=placer._overflow,
+            **getattr(placer, "_health", {}),
+        )
+        inst.tracer.record("eplace.nesterov", iteration, **values)
+        inst.tracer.record(
+            "eplace.nesterov" + health.HEALTH_SUFFIX, iteration,
+            **hvalues,
+        )
+        if publish:
+            try:
+                with live.session(inst.bus):
+                    live.progress(
+                        "eplace.nesterov", iteration, **values
+                    )
+                    health.sample(
+                        "eplace.nesterov", iteration, **hvalues
+                    )
+            except live.CancelledRun as exc:
+                inst.result = CancelledTask(
+                    inst.index, exc.phase, exc.iteration
+                )
+                inst.active = False
+                return
+    if iteration >= p.min_iters and placer._overflow < p.overflow_stop:
+        inst.active = False
+        # converged instances end their stream immediately so racing's
+        # finished-seed barrier advances without waiting for the batch
+        _end_task(inst, publish)
+
+
+def _end_task(inst: _Instance, publish: bool) -> None:
+    """Publish the instance's ``task`` end marker exactly once."""
+    if inst.ended or not publish:
+        return
+    inst.ended = True
+    with live.session(inst.bus):
+        live.phase("task", "end")
+
+
+def _build_result(inst: _Instance, runtime: float) -> PlacerResult:
+    """Materialise one instance's :class:`PlacerResult`.
+
+    ``runtime_s`` is the whole batch's wall time — lockstep instances
+    share the clock, so per-instance timings are not separable (the
+    batch exists to make their *sum* cheaper).
+    """
+    placer = inst.placer
+    n = inst.n
+    x, y = inst.v[:n], inst.v[n:]
+    result = PlacerResult(
+        placement=Placement(placer.circuit, x, y),
+        runtime_s=runtime,
+        method=f"eplace-gp[{placer.params.symmetry_mode},batch]",
+        stats={
+            "iterations": inst.iteration,
+            "final_overflow": placer._overflow,
+            "final_lambda": placer._lambda,
+            "region": placer.region,
+            "history": inst.history,
+            "batch_index": inst.index,
+        },
+    )
+    result.trace = inst.tracer.to_trace()
+    diagnose.attach(result)
+    return result

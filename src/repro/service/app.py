@@ -45,7 +45,7 @@ from ..parallel import CancelledTask, parallel_map_live
 from ..placement import PlacerResult
 from ..placement.io import placement_to_dict
 from .admission import AdmissionPolicy
-from .cache import ResultCache
+from .cache import CACHE_POLICIES, ResultCache
 from .protocol import (
     CANCELLED,
     DONE,
@@ -99,6 +99,9 @@ class ServiceConfig:
     queue_depth: int = 16
     max_cost: "float | None" = None
     cache_dir: "str | None" = None
+    #: result-cache eviction policy: "lru" (hits renew entries) or
+    #: "fifo" (oldest writes evicted first); see repro.service.cache
+    cache_policy: str = "lru"
     runs_root: "str | None" = None
     #: default per-job wall-time budget (requests may set their own)
     timeout_s: "float | None" = None
@@ -113,6 +116,11 @@ class ServiceConfig:
         if self.retain_jobs < 1:
             raise ValueError(
                 f"retain_jobs must be >= 1, got {self.retain_jobs}"
+            )
+        if self.cache_policy not in CACHE_POLICIES:
+            raise ValueError(
+                f"cache_policy must be one of {CACHE_POLICIES}, "
+                f"got {self.cache_policy!r}"
             )
 
 
@@ -152,7 +160,8 @@ class PlacementService:
     def __init__(self, config: "ServiceConfig | None" = None) -> None:
         self.config = config or ServiceConfig()
         self.queue = JobQueue(self.config.queue_depth)
-        self.cache = ResultCache(self.config.cache_dir)
+        self.cache = ResultCache(self.config.cache_dir,
+                                 policy=self.config.cache_policy)
         self.admission = AdmissionPolicy(self.config.max_cost)
         self.registry = RunRegistry(self.config.runs_root)
         self._lock = threading.Lock()
@@ -407,6 +416,7 @@ class PlacementService:
                 "max_cost": self.config.max_cost,
                 "timeout_s": self.config.timeout_s,
                 "cache_dir": self.config.cache_dir,
+                "cache_policy": self.config.cache_policy,
             },
         }
         doc.update(counters)

@@ -10,7 +10,13 @@ entry, and unreadable entries are treated as misses, never as errors.
 Invalidation is by content: the fingerprint covers the canonical
 netlist, constraints, engine, resolved params and seed, so any change
 to what would be computed produces a *different* key — stale entries
-cannot be returned, only orphaned.  Orphans are bounded by ``prune``.
+cannot be returned, only orphaned.  Orphans are bounded by ``prune``,
+whose victim order follows the cache ``policy``: disk entries are
+always dropped oldest-mtime-first, and under the default ``"lru"``
+policy every hit refreshes the entry's mtime, so recently *used*
+entries survive; under ``"fifo"`` hits leave mtimes alone and victims
+are simply the oldest *writes* (the pre-policy behaviour, kept for
+workloads where replaying old requests must not pin them forever).
 """
 
 from __future__ import annotations
@@ -26,14 +32,26 @@ from ..obs.log import get_logger
 logger = get_logger("service.cache")
 
 
+#: recognised eviction policies (see module docstring)
+CACHE_POLICIES: tuple[str, ...] = ("fifo", "lru")
+
+
 class ResultCache:
     """Fingerprint-keyed store of completed result documents."""
 
     def __init__(
-        self, cache_dir: "str | os.PathLike[str] | None" = None
+        self,
+        cache_dir: "str | os.PathLike[str] | None" = None,
+        policy: str = "lru",
     ) -> None:
+        if policy not in CACHE_POLICIES:
+            raise ValueError(
+                f"cache policy must be one of {CACHE_POLICIES}, "
+                f"got {policy!r}"
+            )
         self._lock = sanitize.make_lock("service.cache.ResultCache")
         self._memory: "dict[str, dict[str, Any]]" = {}
+        self.policy = policy
         self.cache_dir = Path(cache_dir) if cache_dir else None
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
@@ -43,11 +61,23 @@ class ResultCache:
             return None
         return self.cache_dir / f"{fingerprint}.json"
 
+    def _touch(self, fingerprint: str) -> None:
+        """Refresh the disk entry's mtime so LRU pruning spares it."""
+        path = self._disk_path(fingerprint)
+        if path is None:
+            return
+        try:
+            os.utime(path)
+        except OSError:
+            pass  # pruned or never written to disk: nothing to renew
+
     def get(self, fingerprint: str) -> "dict[str, Any] | None":
         """The cached result document, or ``None`` on a miss."""
         with self._lock:
             hit = self._memory.get(fingerprint)
         if hit is not None:
+            if self.policy == "lru":
+                self._touch(fingerprint)
             return hit
         path = self._disk_path(fingerprint)
         if path is None or not path.is_file():
@@ -62,6 +92,8 @@ class ResultCache:
             return None
         with self._lock:
             self._memory[fingerprint] = doc
+        if self.policy == "lru":
+            self._touch(fingerprint)
         return doc
 
     def put(self, fingerprint: str, doc: "dict[str, Any]") -> None:
@@ -91,8 +123,10 @@ class ResultCache:
         """Drop oldest disk entries beyond ``keep``; returns removals.
 
         Memory entries are kept (they are bounded by the job store's
-        own retention).  Age is mtime — content keys carry no
-        ordering of their own.
+        own retention).  Age is mtime — content keys carry no ordering
+        of their own — so under the ``"lru"`` policy (hits refresh
+        mtimes) the victims are the least recently *used* entries,
+        while under ``"fifo"`` they are the oldest *writes*.
         """
         if self.cache_dir is None:
             return 0

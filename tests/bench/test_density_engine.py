@@ -1,0 +1,82 @@
+"""The ``density`` bench pseudo-engine and its scale suites.
+
+The engine's contract: the case seed is the batch width, the wrapped
+placement (and therefore all quality metrics) never depends on the
+kernel choice, and both kernels compute the same physics — so the
+before/after evidence artifacts can only differ in ``runtime_s``.
+"""
+
+import pytest
+
+from repro.bench.runner import _execute_density, run_case
+from repro.bench.spec import BENCH_ENGINES, CaseSpec, get_suite
+
+
+class TestSuites:
+    def test_density_engine_registered(self):
+        assert "density" in BENCH_ENGINES
+
+    def test_builtin_scale_suites(self):
+        full = get_suite("density-scale")
+        assert full.engines == ["density"]
+        assert full.seeds == [1, 2, 4, 8]  # the batch-width axis
+        quick = get_suite("density-quick")
+        assert set(quick.circuits) <= set(full.circuits)
+        assert quick.params["density"]["kernel"] == "batched"
+
+
+class TestEngine:
+    OPTS = {"iters": 3, "bins": 16}
+
+    def test_kernels_agree_and_metrics_identical(self):
+        case = CaseSpec("density", "Adder", 4)
+        results = {}
+        for kernel in ("batched", "sequential"):
+            result, trace = _execute_density(
+                case, {**self.OPTS, "kernel": kernel})
+            assert result.method == "density"
+            assert result.stats["batch"] == 4
+            assert result.stats["kernel"] == kernel
+            results[kernel] = result
+        batched, sequential = (
+            results["batched"], results["sequential"])
+        # metrics come from kernel-independent positions: exact match
+        assert batched.metrics()["hpwl"] == \
+            sequential.metrics()["hpwl"]
+        assert batched.metrics()["area"] == \
+            sequential.metrics()["area"]
+        # physics checksums agree to round-off
+        assert batched.stats["energy"] == pytest.approx(
+            sequential.stats["energy"], rel=1e-9)
+        assert batched.stats["overflow"] == pytest.approx(
+            sequential.stats["overflow"], rel=1e-9)
+
+    def test_seed_is_batch_width(self):
+        one = _execute_density(
+            CaseSpec("density", "Adder", 1), dict(self.OPTS))[0]
+        four = _execute_density(
+            CaseSpec("density", "Adder", 4), dict(self.OPTS))[0]
+        assert one.stats["batch"] == 1
+        assert four.stats["batch"] == 4
+        # instance 0 positions are shared, so metrics match across B
+        assert one.metrics()["hpwl"] == four.metrics()["hpwl"]
+
+    def test_rejects_unknown_kernel_and_overrides(self):
+        case = CaseSpec("density", "Adder", 2)
+        with pytest.raises(ValueError, match="kernel"):
+            _execute_density(case, {**self.OPTS, "kernel": "nope"})
+        with pytest.raises(ValueError, match="unknown density"):
+            _execute_density(case, {**self.OPTS, "wat": 1})
+        with pytest.raises(ValueError, match=">= 1"):
+            _execute_density(CaseSpec("density", "Adder", 0),
+                             dict(self.OPTS))
+
+    def test_run_case_produces_records(self):
+        records = run_case(
+            CaseSpec("density", "Adder", 2),
+            {**self.OPTS, "kernel": "batched"},
+            repeats=1, warmup=0,
+        )
+        assert len(records) == 1
+        assert records[0]["metrics"]["hpwl"] > 0
+        assert records[0]["runtime_s"] > 0

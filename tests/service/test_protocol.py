@@ -240,3 +240,53 @@ def test_cache_prune_keeps_newest(tmp_path):
         path.stem for path in (tmp_path / "cache").glob("*.json")
     )
     assert len(remaining) == 2
+
+
+def _backdated_cache(tmp_path, policy):
+    """Four entries with mtimes pinned to a known (old) write order."""
+    import os
+
+    cache = ResultCache(tmp_path / "cache", policy=policy)
+    for index in range(4):
+        cache.put(f"fp{index}", {"n": index})
+        # deterministic, far-past mtimes in write order
+        os.utime(tmp_path / "cache" / f"fp{index}.json",
+                 (1000 + index, 1000 + index))
+    return cache
+
+
+def _remaining(tmp_path):
+    return {p.stem for p in (tmp_path / "cache").glob("*.json")}
+
+
+def test_cache_rejects_unknown_policy(tmp_path):
+    with pytest.raises(ValueError, match="policy"):
+        ResultCache(tmp_path / "cache", policy="mru")
+
+
+def test_cache_lru_hit_renews_entry(tmp_path):
+    cache = _backdated_cache(tmp_path, "lru")
+    assert cache.get("fp0") == {"n": 0}  # touch: fp0 becomes newest
+    removed = cache.prune(keep=2)
+    assert removed == 2
+    # fp0 survives because it was *used*; fp3 is the newest write
+    assert _remaining(tmp_path) == {"fp0", "fp3"}
+
+
+def test_cache_fifo_hit_does_not_renew(tmp_path):
+    cache = _backdated_cache(tmp_path, "fifo")
+    assert cache.get("fp0") == {"n": 0}  # no touch under fifo
+    removed = cache.prune(keep=2)
+    assert removed == 2
+    # victims are the oldest writes regardless of the hit
+    assert _remaining(tmp_path) == {"fp2", "fp3"}
+
+
+def test_cache_lru_disk_hit_renews_too(tmp_path):
+    _backdated_cache(tmp_path, "lru")
+    # a fresh instance has an empty memory map: the hit comes from
+    # disk and must still refresh the entry's mtime
+    reopened = ResultCache(tmp_path / "cache", policy="lru")
+    assert reopened.get("fp1") == {"n": 1}
+    reopened.prune(keep=1)
+    assert _remaining(tmp_path) == {"fp1"}

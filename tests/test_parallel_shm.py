@@ -1,0 +1,239 @@
+"""Shared-memory array transport (repro.parallel shm channel).
+
+Covers the transport contract: value bit-identity with the transport
+on and off, the size threshold, and — the part that matters
+operationally — segment lifecycle: every path (success, failure,
+cancellation racing a result hand-off) leaves ``/dev/shm`` exactly as
+it found it, asserted through :func:`repro.parallel.shm_segments`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs import live
+from repro.parallel import (
+    CancelledTask,
+    ShmBlob,
+    discard_blob,
+    parallel_map,
+    parallel_map_live,
+    shm_dumps,
+    shm_loads,
+    shm_segments,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_segment_leaks():
+    """Every test must leave the host's segment registry unchanged."""
+    before = shm_segments()
+    yield
+    assert shm_segments() == before
+
+
+def _array_worker(item: int) -> dict:
+    """Returns a payload mixing large and small arrays."""
+    rng = np.random.default_rng(item)
+    return {
+        "big": rng.normal(size=32768),          # 256 KiB: shm path
+        "small": rng.normal(size=8),            # stays inline
+        "scalar": float(item),
+    }
+
+
+def _emit_array_worker(item: int) -> dict:
+    """Publishes progress, then returns a large-array payload."""
+    for i in range(1, 6):
+        live.progress("w.loop", i, value=float(item * 10 + i))
+    return _array_worker(item)
+
+
+def _slow_emit_worker(item: int) -> dict:
+    """Like :func:`_emit_array_worker` but slow enough to cancel."""
+    import time
+
+    for i in range(1, 50):
+        live.progress("w.loop", i, value=float(item * 10 + i))
+        time.sleep(0.05)
+    return _array_worker(item)
+
+
+def _boom_worker(item: int) -> dict:
+    if item == 1:
+        raise ValueError("boom on item 1")
+    return _array_worker(item)
+
+
+class TestDumpsLoads:
+    def test_roundtrip_bit_identical(self):
+        payload = _array_worker(3)
+        blob = shm_dumps(payload, threshold=1024)
+        assert isinstance(blob, ShmBlob)
+        assert len(blob.segments) == 1  # only the big array hoisted
+        restored = shm_loads(blob)
+        assert np.array_equal(restored["big"], payload["big"])
+        assert restored["big"].dtype == payload["big"].dtype
+        assert np.array_equal(restored["small"], payload["small"])
+        assert restored["scalar"] == payload["scalar"]
+
+    def test_small_arrays_stay_inline(self):
+        blob = shm_dumps(np.arange(16.0))
+        assert blob.segments == ()
+        assert np.array_equal(shm_loads(blob), np.arange(16.0))
+
+    def test_segments_visible_until_loaded(self):
+        blob = shm_dumps(np.zeros(65536), threshold=1024)
+        assert set(blob.segments) <= set(shm_segments())
+        shm_loads(blob)
+        assert not set(blob.segments) & set(shm_segments())
+
+    def test_fortran_order_preserved(self):
+        arr = np.asfortranarray(np.arange(65536.0).reshape(256, 256))
+        restored = shm_loads(shm_dumps(arr, threshold=1024))
+        assert restored.flags.f_contiguous
+        assert np.array_equal(restored, arr)
+
+    def test_non_contiguous_input(self):
+        base = np.arange(131072.0).reshape(256, 512)
+        view = base[::2, ::3]
+        restored = shm_loads(shm_dumps(view, threshold=1024))
+        assert np.array_equal(restored, view)
+
+    def test_object_dtype_stays_on_pickle_path(self):
+        arr = np.array([{"a": 1}] * 100, dtype=object)
+        blob = shm_dumps(arr, threshold=1)
+        assert blob.segments == ()
+        assert shm_loads(blob)[0] == {"a": 1}
+
+    def test_discard_blob_without_loading(self):
+        blob = shm_dumps(np.zeros(65536), threshold=1024)
+        assert blob.segments
+        discard_blob(blob)
+        assert not set(blob.segments) & set(shm_segments())
+        discard_blob(blob)  # idempotent
+
+    def test_failed_dump_cleans_its_segments(self):
+        class Unpicklable:
+            def __reduce__(self):
+                raise RuntimeError("nope")
+
+        with pytest.raises(RuntimeError, match="nope"):
+            shm_dumps(
+                {"big": np.zeros(65536), "bad": Unpicklable()},
+                threshold=1024,
+            )
+
+
+class TestParallelMapTransport:
+    ITEMS = [1, 2, 3, 4]
+
+    def test_on_off_value_identical(self):
+        on = parallel_map(_array_worker, self.ITEMS, jobs=2, shm=True,
+                          shm_threshold=1024)
+        off = parallel_map(_array_worker, self.ITEMS, jobs=2,
+                          shm=False)
+        inline = [_array_worker(i) for i in self.ITEMS]
+        for a, b, c in zip(on, off, inline):
+            assert np.array_equal(a["big"], b["big"])
+            assert np.array_equal(a["big"], c["big"])
+            assert np.array_equal(a["small"], b["small"])
+            assert a["scalar"] == b["scalar"] == c["scalar"]
+
+    def test_worker_failure_leaves_no_segments(self):
+        with pytest.raises(ValueError, match="boom"):
+            parallel_map(_boom_worker, self.ITEMS, jobs=2,
+                         shm_threshold=1024)
+        # leak check is the autouse fixture
+
+
+class TestParallelMapLiveTransport:
+    ITEMS = [1, 2, 3]
+
+    def test_on_off_streams_and_results_identical(self):
+        outcomes = []
+        for shm in (True, False):
+            sub = live.CollectingSubscriber()
+            bus = live.EventBus()
+            bus.subscribe(sub)
+            out = parallel_map_live(
+                _emit_array_worker, self.ITEMS, jobs=3, bus=bus,
+                shm=shm, shm_threshold=1024,
+            )
+            outcomes.append((out, sub.canonical()))
+        (on_out, on_stream), (off_out, off_stream) = outcomes
+        assert on_stream == off_stream
+        for a, b in zip(on_out, off_out):
+            assert np.array_equal(a["big"], b["big"])
+            assert a["scalar"] == b["scalar"]
+
+    def test_cancellation_unlinks_segments(self):
+        """A cancelled task's cleanup races the transport: no leaks."""
+
+        def on_ready(handle):
+            handle.cancel(1)
+
+        out = parallel_map_live(
+            _emit_array_worker, self.ITEMS, jobs=2,
+            handle_ready=on_ready, shm_threshold=1024,
+        )
+        assert isinstance(out[1], CancelledTask)
+        assert not isinstance(out[0], CancelledTask)
+        assert np.array_equal(out[0]["big"], _array_worker(1)["big"])
+        # leak check is the autouse fixture
+
+    def test_mid_run_cancellation_forked(self):
+        captured = {}
+
+        def on_ready(handle):
+            captured["handle"] = handle
+
+        def watcher(event):
+            if (isinstance(event, live.ProgressEvent)
+                    and event.source == 0 and event.iteration >= 2):
+                captured["handle"].cancel(0)
+
+        bus = live.EventBus()
+        bus.subscribe(watcher)
+        out = parallel_map_live(
+            _slow_emit_worker, [7], jobs=1, bus=bus,
+            handle_ready=on_ready, always_fork=True,
+            shm_threshold=1024,
+        )
+        assert isinstance(out[0], CancelledTask)
+        assert out[0].iteration >= 2
+
+    def test_worker_error_drains_queued_blobs(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            parallel_map_live(
+                _boom_worker, [0, 1, 2, 3], jobs=2, always_fork=True,
+                shm_threshold=1024,
+            )
+        # leak check is the autouse fixture
+
+
+class TestMultiseedBitIdentity:
+    def test_shm_on_off_and_sequential_identical(self, tiny_circuit):
+        """The ISSUE acceptance bar: multiseed results bit-identical
+        sequentially, with the transport on, and with it off."""
+        from repro.api import _seed_worker
+
+        seeds = (1, 2)
+        payloads = [
+            (tiny_circuit, "annealing", seed, {}, False)
+            for seed in seeds
+        ]
+        sequential = [_seed_worker(p) for p in payloads]
+        shm_on = parallel_map(_seed_worker, payloads, jobs=2,
+                              shm=True, shm_threshold=64)
+        shm_off = parallel_map(_seed_worker, payloads, jobs=2,
+                               shm=False)
+        for ref, on, off in zip(sequential, shm_on, shm_off):
+            for got in (on, off):
+                assert np.array_equal(got.placement.x,
+                                      ref.placement.x)
+                assert np.array_equal(got.placement.y,
+                                      ref.placement.y)
+                assert got.metrics()["hpwl"] == \
+                    ref.metrics()["hpwl"]
